@@ -1,0 +1,234 @@
+package robustify_test
+
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation. Each benchmark executes the same code path as the
+// full `cmd/robustbench` reproduction, scaled down via the figures
+// package's Quick configuration, and reports the figure's headline numbers
+// as custom metrics so `go test -bench` output doubles as a regression
+// record of the reproduction's shape.
+//
+// Full-size reproductions:  go run ./cmd/robustbench -fig all
+// Scaled benchmark sweep:   go test -bench=. -benchmem
+
+import (
+	"math/rand"
+	"testing"
+
+	"robustify"
+	"robustify/internal/figures"
+	"robustify/internal/harness"
+)
+
+// benchFigure runs one figure builder b.N times and reports headline
+// metrics from the last table.
+func benchFigure(b *testing.B, id string, metrics func(*harness.Table, *testing.B)) {
+	b.Helper()
+	build := figures.Lookup(id)
+	if build == nil {
+		b.Fatalf("unknown figure %q", id)
+	}
+	var table *harness.Table
+	for i := 0; i < b.N; i++ {
+		table = build(figures.Config{Quick: true, Seed: 1})
+	}
+	if metrics != nil {
+		metrics(table, b)
+	}
+}
+
+// lastValue returns the value of a series at the highest fault rate.
+func lastValue(t *harness.Table, name string) float64 {
+	for _, s := range t.Series {
+		if s.Name == name && len(s.Points) > 0 {
+			return s.Points[len(s.Points)-1].Value
+		}
+	}
+	return -1
+}
+
+// firstValue returns the value of a series at the lowest fault rate.
+func firstValue(t *harness.Table, name string) float64 {
+	for _, s := range t.Series {
+		if s.Name == name && len(s.Points) > 0 {
+			return s.Points[0].Value
+		}
+	}
+	return -1
+}
+
+func BenchmarkFig5_1(b *testing.B) {
+	benchFigure(b, "5.1", func(t *harness.Table, b *testing.B) {
+		// Headline: high-significance mass of the emulated distribution.
+		var high float64
+		for _, s := range t.Series {
+			if s.Name != "emulated" {
+				continue
+			}
+			for _, p := range s.Points {
+				if p.Rate >= 42 {
+					high += p.Value
+				}
+			}
+		}
+		b.ReportMetric(high, "msb-mass")
+	})
+}
+
+func BenchmarkFig5_2(b *testing.B) {
+	benchFigure(b, "5.2", func(t *harness.Table, b *testing.B) {
+		b.ReportMetric(lastValue(t, "error rate (errors/op)"), "rate@0.60V")
+	})
+}
+
+func BenchmarkFig6_1(b *testing.B) {
+	benchFigure(b, "6.1", func(t *harness.Table, b *testing.B) {
+		b.ReportMetric(lastValue(t, "Base"), "base@max-rate")
+		b.ReportMetric(lastValue(t, "SGD+AS,SQS"), "sqs@max-rate")
+	})
+}
+
+func BenchmarkFig6_2(b *testing.B) {
+	benchFigure(b, "6.2", func(t *harness.Table, b *testing.B) {
+		b.ReportMetric(lastValue(t, "Base: SVD"), "svd-relerr")
+		b.ReportMetric(lastValue(t, "SGD,LS"), "sgd-relerr")
+	})
+}
+
+func BenchmarkFig6_3(b *testing.B) {
+	benchFigure(b, "6.3", func(t *harness.Table, b *testing.B) {
+		b.ReportMetric(lastValue(t, "Base"), "base-esr")
+		b.ReportMetric(lastValue(t, "SGD+AS,SQS"), "sqs-esr")
+	})
+}
+
+func BenchmarkFig6_4(b *testing.B) {
+	benchFigure(b, "6.4", func(t *harness.Table, b *testing.B) {
+		b.ReportMetric(lastValue(t, "Base"), "base@max-rate")
+		b.ReportMetric(lastValue(t, "SGD+AS,SQS"), "sqs@max-rate")
+	})
+}
+
+func BenchmarkFig6_5(b *testing.B) {
+	benchFigure(b, "6.5", func(t *harness.Table, b *testing.B) {
+		b.ReportMetric(lastValue(t, "ANNEAL"), "anneal@50%")
+		b.ReportMetric(lastValue(t, "ALL"), "all@50%")
+	})
+}
+
+func BenchmarkFig6_6(b *testing.B) {
+	benchFigure(b, "6.6", func(t *harness.Table, b *testing.B) {
+		b.ReportMetric(lastValue(t, "CG, N=10"), "cg-relerr")
+		b.ReportMetric(lastValue(t, "Base: Cholesky"), "chol-relerr")
+	})
+}
+
+func BenchmarkFig6_7(b *testing.B) {
+	benchFigure(b, "6.7", func(t *harness.Table, b *testing.B) {
+		b.ReportMetric(lastValue(t, "CG"), "cg-energy@loose")
+		b.ReportMetric(lastValue(t, "Base: Cholesky"), "base-energy")
+	})
+}
+
+func BenchmarkMomentumAblation(b *testing.B) {
+	benchFigure(b, "momentum", func(t *harness.Table, b *testing.B) {
+		b.ReportMetric(firstValue(t, "sort"), "sort")
+		b.ReportMetric(firstValue(t, "sort+mom0.5"), "sort+mom")
+	})
+}
+
+func BenchmarkSolverFLOPs(b *testing.B) {
+	benchFigure(b, "flops", func(t *harness.Table, b *testing.B) {
+		b.ReportMetric(firstValue(t, "CG,N=10"), "cg10-flops")
+		b.ReportMetric(firstValue(t, "Cholesky"), "chol-flops")
+	})
+}
+
+// --- Kernel micro-benchmarks: the per-FLOP cost of the simulated FPU and
+// the hot solver paths, for performance tracking. ---
+
+func BenchmarkFPUMulAdd(b *testing.B) {
+	u := robustify.NewFPU(robustify.WithFaultRate(0.01, 1))
+	acc := 0.0
+	for i := 0; i < b.N; i++ {
+		acc = u.FMA(1.0000001, acc, 1)
+	}
+	_ = acc
+}
+
+func BenchmarkFPUReliableMulAdd(b *testing.B) {
+	u := robustify.NewFPU()
+	acc := 0.0
+	for i := 0; i < b.N; i++ {
+		acc = u.FMA(1.0000001, acc, 1)
+	}
+	_ = acc
+}
+
+func BenchmarkRobustSortIteration(b *testing.B) {
+	data := []float64{5, 2, 4, 1, 3}
+	u := robustify.NewFPU(robustify.WithFaultRate(0.05, 1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := robustify.RobustSort(u, data, robustify.SortOptions{Iters: 100}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLeastSquaresSGD(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := robustify.NewMatrix(100, 10)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	rhs := make([]float64, 100)
+	a.MulVec(nil, make([]float64, 10), rhs)
+	u := robustify.NewFPU(robustify.WithFaultRate(0.01, 1))
+	p, err := robustify.NewLeastSquares(u, a, rhs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sched := robustify.Linear(8 / p.Lipschitz())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := robustify.SGD(p, make([]float64, 10), robustify.SolveOptions{
+			Iters: 100, Schedule: sched,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFaultModelAblation(b *testing.B) {
+	benchFigure(b, "faultmodel", func(t *harness.Table, b *testing.B) {
+		b.ReportMetric(lastValue(t, "sort/emulated"), "emulated@max")
+		b.ReportMetric(lastValue(t, "sort/uniform"), "uniform@max")
+	})
+}
+
+func BenchmarkPenaltyAblation(b *testing.B) {
+	benchFigure(b, "penalty", func(t *harness.Table, b *testing.B) {
+		b.ReportMetric(lastValue(t, "apsp/abs"), "apsp-abs")
+		b.ReportMetric(lastValue(t, "apsp/quad"), "apsp-quad")
+	})
+}
+
+func BenchmarkSVMExtension(b *testing.B) {
+	benchFigure(b, "svm", func(t *harness.Table, b *testing.B) {
+		b.ReportMetric(lastValue(t, "perceptron"), "perceptron@max")
+		b.ReportMetric(lastValue(t, "robust-pegasos"), "pegasos@max")
+	})
+}
+
+func BenchmarkGraphLP(b *testing.B) {
+	benchFigure(b, "graphlp", func(t *harness.Table, b *testing.B) {
+		b.ReportMetric(lastValue(t, "apsp/robust-LP"), "apsp-lp-err")
+	})
+}
+
+func BenchmarkEigenpairs(b *testing.B) {
+	benchFigure(b, "eigen", func(t *harness.Table, b *testing.B) {
+		b.ReportMetric(lastValue(t, "robust-rayleigh"), "rayleigh-err")
+		b.ReportMetric(lastValue(t, "power-iteration"), "power-err")
+	})
+}

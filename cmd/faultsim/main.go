@@ -1,0 +1,120 @@
+// Command faultsim explores the stochastic-FPU fault model: per-bit fault
+// histograms, voltage sweeps, and raw corruption traces.
+//
+// Usage:
+//
+//	faultsim -mode hist|voltage|trace [-rate R] [-dist emulated|measured|uniform|low]
+//	         [-n N] [-seed S]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"robustify/internal/fpu"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "faultsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("faultsim", flag.ContinueOnError)
+	var (
+		mode = fs.String("mode", "hist", "hist | voltage | trace")
+		rate = fs.Float64("rate", 0.01, "faults per FLOP for trace mode")
+		dist = fs.String("dist", "emulated", "bit distribution: emulated | measured | uniform | low")
+		n    = fs.Int("n", 20, "ops (trace) / samples in thousands (hist)")
+		seed = fs.Uint64("seed", 1, "RNG seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch *mode {
+	case "hist":
+		return hist(pickDist(*dist), *n*1000, *seed)
+	case "voltage":
+		return voltage()
+	case "trace":
+		return trace(pickDist(*dist), *rate, *n, *seed)
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+}
+
+func pickDist(name string) fpu.BitDistribution {
+	switch name {
+	case "measured":
+		return fpu.MeasuredDistribution()
+	case "uniform":
+		return fpu.UniformDistribution()
+	case "low":
+		return fpu.LowOrderDistribution()
+	default:
+		return fpu.EmulatedDistribution()
+	}
+}
+
+func hist(d fpu.BitDistribution, n int, seed uint64) error {
+	rng := fpu.NewLFSR(seed)
+	counts := make([]int, fpu.WordBits)
+	for i := 0; i < n; i++ {
+		counts[d.Sample(rng.Float64())]++
+	}
+	fmt.Printf("distribution %q, %d samples\n", d.Name(), n)
+	fmt.Println("bit   pmf      sampled  bar")
+	for bit := fpu.WordBits - 1; bit >= 0; bit-- {
+		p := d.Prob(bit)
+		got := float64(counts[bit]) / float64(n)
+		bar := ""
+		for i := 0; i < int(p*400); i++ {
+			bar += "#"
+		}
+		if p > 0 || got > 0 {
+			fmt.Printf("%3d   %.4f   %.4f   %s\n", bit, p, got, bar)
+		}
+	}
+	return nil
+}
+
+func voltage() error {
+	m := fpu.DefaultVoltageModel()
+	fmt.Println("voltage  error-rate     power")
+	for step := 0; step <= 24; step++ {
+		v := 1.20 - 0.025*float64(step)
+		fmt.Printf("%6.3fV  %.3e    %.3f\n", v, m.ErrorRate(v), m.Power(v))
+	}
+	return nil
+}
+
+func trace(d fpu.BitDistribution, rate float64, n int, seed uint64) error {
+	inj := fpu.NewInjector(rate, seed, fpu.WithDistribution(d))
+	u := fpu.New(fpu.WithInjector(inj))
+	fmt.Printf("tracing %d multiply-accumulate ops at rate %g (%s bits)\n", n, rate, d.Name())
+	acc := 0.0
+	for i := 0; i < n; i++ {
+		exact := acc + 1.1*float64(i+1)
+		got := u.FMA(1.1, float64(i+1), acc)
+		mark := " "
+		if got != exact {
+			mark = "*"
+			fmt.Printf("%s op %4d: exact %-22.17g got %-22.17g (rel %.2e)\n",
+				mark, i, exact, got, relErr(got, exact))
+		}
+		acc = got
+	}
+	fmt.Printf("%d FLOPs, %d faults\n", u.FLOPs(), u.Faults())
+	return nil
+}
+
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}

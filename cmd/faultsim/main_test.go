@@ -1,0 +1,51 @@
+package main
+
+import "testing"
+
+func TestRunModes(t *testing.T) {
+	for _, args := range [][]string{
+		{"-mode", "hist", "-n", "1"},
+		{"-mode", "hist", "-dist", "measured", "-n", "1"},
+		{"-mode", "hist", "-dist", "uniform", "-n", "1"},
+		{"-mode", "hist", "-dist", "low", "-n", "1"},
+		{"-mode", "voltage"},
+		{"-mode", "trace", "-rate", "0.2", "-n", "50"},
+	} {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+}
+
+func TestRunUnknownMode(t *testing.T) {
+	if err := run([]string{"-mode", "nope"}); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-zzz"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestPickDistDefaults(t *testing.T) {
+	if pickDist("emulated").Name() != "emulated" {
+		t.Error("emulated")
+	}
+	if pickDist("weird-name").Name() != "emulated" {
+		t.Error("fallback should be emulated")
+	}
+	if pickDist("measured").Name() != "measured" {
+		t.Error("measured")
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	if relErr(2, 1) != 1 {
+		t.Error("relErr(2,1)")
+	}
+	if relErr(3, 0) != 3 {
+		t.Error("relErr vs zero should be absolute")
+	}
+}

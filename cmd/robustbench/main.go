@@ -1,0 +1,94 @@
+// Command robustbench regenerates the tables and figures of the paper's
+// evaluation on the simulated stochastic-FPU substrate.
+//
+// Usage:
+//
+//	robustbench [-fig all|5.1|5.2|6.1|...|6.7|momentum|flops]
+//	            [-trials N] [-seed S] [-quick] [-csv DIR] [-list]
+//
+// With -csv, each figure is additionally written as DIR/fig-<id>.csv.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"robustify/internal/figures"
+	"robustify/internal/harness"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "robustbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("robustbench", flag.ContinueOnError)
+	var (
+		fig    = fs.String("fig", "all", "figure id to regenerate, or 'all'")
+		trials = fs.Int("trials", 0, "trials per cell (0 = figure default)")
+		seed   = fs.Uint64("seed", 1, "base RNG seed")
+		quick  = fs.Bool("quick", false, "scaled-down problem sizes and grids")
+		csvDir = fs.String("csv", "", "directory for CSV export (optional)")
+		list   = fs.Bool("list", false, "list available figures and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, f := range figures.All() {
+			fmt.Printf("%-8s %s\n", f.ID, f.Desc)
+		}
+		return nil
+	}
+	cfg := figures.Config{Trials: *trials, Seed: *seed, Quick: *quick}
+	selected := strings.Split(*fig, ",")
+	for _, f := range figures.All() {
+		if !match(selected, f.ID) {
+			continue
+		}
+		start := time.Now()
+		table := f.Build(cfg)
+		if err := table.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Printf("[%s took %v]\n\n", f.ID, time.Since(start).Round(time.Millisecond))
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, f.ID, table); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func match(selected []string, id string) bool {
+	for _, s := range selected {
+		if s == "all" || strings.TrimSpace(s) == id {
+			return true
+		}
+	}
+	return false
+}
+
+func writeCSV(dir, id string, table *harness.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "fig-"+strings.ReplaceAll(id, ".", "_")+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := table.CSV(f); err != nil {
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatalf("-list: %v", err)
+	}
+}
+
+func TestRunQuickFigure(t *testing.T) {
+	if err := run([]string{"-fig", "5.2", "-quick"}); err != nil {
+		t.Fatalf("quick 5.2: %v", err)
+	}
+}
+
+func TestRunCSVExport(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-fig", "5.2", "-quick", "-csv", dir}); err != nil {
+		t.Fatalf("csv export: %v", err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig-5_2.csv"))
+	if err != nil {
+		t.Fatalf("csv file missing: %v", err)
+	}
+	if len(data) == 0 {
+		t.Error("csv file empty")
+	}
+}
+
+func TestRunUnknownFigureIsNoop(t *testing.T) {
+	if err := run([]string{"-fig", "99.9"}); err != nil {
+		t.Fatalf("unknown figure should be a no-op, got %v", err)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestMatch(t *testing.T) {
+	if !match([]string{"all"}, "6.1") {
+		t.Error("all must match everything")
+	}
+	if !match([]string{"6.1", "6.2"}, "6.2") {
+		t.Error("listed id must match")
+	}
+	if match([]string{"6.1"}, "6.2") {
+		t.Error("unlisted id matched")
+	}
+	if !match([]string{" 6.3"}, "6.3") {
+		t.Error("whitespace-padded id must match")
+	}
+}

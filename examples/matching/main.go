@@ -1,0 +1,57 @@
+// Bipartite matching with the §6.2 enhancement ladder (Fig 6.5).
+//
+// The basic penalized LP solve plateaus; step scaling, preconditioning,
+// penalty annealing, and momentum progressively recover accuracy until the
+// stochastic solver beats the Hungarian baseline at every nonzero fault
+// rate.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"robustify"
+	"robustify/internal/apps/matching"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(100))
+	inst := matching.RandomInstance(rng, 5, 6, 30) // 11 nodes, 30 edges
+	fmt.Printf("instance: 5x6 bipartite, 30 edges, optimal weight %.3f\n\n", inst.OptimalWeight)
+
+	rates := []float64{0, 0.05, 0.2, 0.5}
+	fmt.Printf("%-12s", "variant")
+	for _, r := range rates {
+		fmt.Printf("  %4.0f%%", r*100)
+	}
+	fmt.Println("   (success over 10 runs)")
+
+	show := func(name string, run func(u *robustify.FPU) bool) {
+		fmt.Printf("%-12s", name)
+		for _, rate := range rates {
+			ok := 0
+			for trial := 0; trial < 10; trial++ {
+				u := robustify.NewFPU(robustify.WithFaultRate(rate, uint64(trial)*31+7))
+				if run(u) {
+					ok++
+				}
+			}
+			fmt.Printf("  %4d", ok*10)
+		}
+		fmt.Println()
+	}
+
+	show("Hungarian", func(u *robustify.FPU) bool {
+		return inst.Success(inst.Baseline(u))
+	})
+	for _, v := range matching.Variants(10000, 6) {
+		opts := v.Opts
+		show(v.Name, func(u *robustify.FPU) bool {
+			assign, _, err := inst.Robust(u, opts)
+			if err != nil {
+				return false
+			}
+			return inst.Success(assign)
+		})
+	}
+}

@@ -1,0 +1,65 @@
+// Quickstart: solve a least squares problem on a faulty FPU.
+//
+// A conventional solver (Cholesky on the normal equations) collapses when
+// 1% of floating point results are corrupted; the robustified
+// gradient-descent form converges anyway. This is the paper's core claim
+// in ~60 lines.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"robustify"
+)
+
+func main() {
+	// Build a random overdetermined system A·x* = b (100 equations, 10
+	// unknowns — the paper's Fig 6.2 size).
+	rng := rand.New(rand.NewSource(42))
+	a := robustify.NewMatrix(100, 10)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	xTrue := make([]float64, 10)
+	for i := range xTrue {
+		xTrue[i] = rng.NormFloat64()
+	}
+	b := make([]float64, 100)
+	a.MulVec(nil, xTrue, b)
+
+	inst, err := robustify.NewLeastSquaresInstance(a, b)
+	if err != nil {
+		panic(err)
+	}
+
+	// A stochastic FPU: 1% of floating point results get one bit flipped.
+	const faultRate = 0.01
+
+	fmt.Println("seed   Cholesky rel.err   robustified-SGD rel.err")
+	for seed := uint64(1); seed <= 5; seed++ {
+		// Conventional baseline: Cholesky factorization, every FLOP on
+		// the faulty unit.
+		baseUnit := robustify.NewFPU(robustify.WithFaultRate(faultRate, seed))
+		xBase := inst.SolveCholesky(baseUnit)
+
+		// Robustified form: minimize ‖Ax−b‖² by stochastic gradient
+		// descent. Only the gradient math runs on the faulty unit; step
+		// control is reliable, per the paper's assumption.
+		robustUnit := robustify.NewFPU(robustify.WithFaultRate(faultRate, seed+100))
+		p, err := robustify.NewLeastSquares(robustUnit, a, b)
+		if err != nil {
+			panic(err)
+		}
+		res, err := robustify.SGD(p, make([]float64, 10), robustify.SolveOptions{
+			Iters:       1000,
+			Schedule:    robustify.Linear(8 / p.Lipschitz()),
+			TailAverage: 100,
+			Aggressive:  robustify.DefaultAggressive(),
+		})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%4d   %-18.3g %-.3g\n", seed, inst.RelErr(xBase), inst.RelErr(res.X))
+	}
+}

@@ -1,0 +1,151 @@
+package apsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"robustify/internal/fpu"
+	"robustify/internal/graph"
+)
+
+func triangle() *Instance {
+	g := graph.NewDiGraph(3)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 0, 1)
+	g.AddEdge(0, 2, 3) // direct edge longer than the two-hop path
+	return NewInstance(g)
+}
+
+func TestVarIndexBijective(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 8} {
+		seen := make(map[int]bool)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				k := varIndex(n, i, j)
+				if k < 0 || k >= n*(n-1) || seen[k] {
+					t.Fatalf("n=%d: varIndex(%d,%d) = %d invalid/duplicate", n, i, j, k)
+				}
+				seen[k] = true
+			}
+		}
+	}
+}
+
+func TestExactReference(t *testing.T) {
+	inst := triangle()
+	if d := inst.Exact.At(0, 2); math.Abs(d-2) > 1e-12 {
+		t.Errorf("exact 0→2 = %v, want 2 (two-hop beats direct)", d)
+	}
+	if inst.MeanRelErr(inst.Exact) != 0 {
+		t.Error("exact matrix should score 0")
+	}
+}
+
+func TestMeanRelErrNonFinite(t *testing.T) {
+	inst := triangle()
+	bad := inst.Exact.Clone()
+	bad.Set(0, 1, math.NaN())
+	if inst.MeanRelErr(bad) < 1e29 {
+		t.Error("NaN distance should score huge")
+	}
+}
+
+func TestBaselineExactReliably(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		inst := RandomInstance(rng, 3+rng.Intn(6), 6, 5)
+		if re := inst.MeanRelErr(inst.Baseline(nil)); re > 1e-12 {
+			t.Fatalf("trial %d: reliable Floyd-Warshall rel err %v", trial, re)
+		}
+	}
+}
+
+func TestBaselineDegradesUnderFaults(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	inst := RandomInstance(rng, 8, 12, 5)
+	bad := 0
+	const trials = 20
+	for trial := 0; trial < trials; trial++ {
+		u := fpu.New(fpu.WithFaultRate(0.05, uint64(trial+1)))
+		if inst.MeanRelErr(inst.Baseline(u)) > 1e-3 {
+			bad++
+		}
+	}
+	if bad == 0 {
+		t.Error("faulty Floyd-Warshall never degraded at 5%")
+	}
+}
+
+// TestLPOptimumIsShortestPaths: the LP maximization recovers the exact
+// distances on a reliable unit — the Eq 4.10–4.12 transformation is sound.
+func TestLPOptimumIsShortestPaths(t *testing.T) {
+	inst := triangle()
+	d, _, err := inst.Robust(nil, Options{Iters: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re := inst.MeanRelErr(d); re > 0.02 {
+		t.Errorf("robust mean rel err %v", re)
+	}
+}
+
+func TestRobustRandomGraphReliable(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	inst := RandomInstance(rng, 6, 8, 5)
+	d, _, err := inst.Robust(nil, Options{Iters: 30000, Tail: 6000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re := inst.MeanRelErr(d); re > 0.05 {
+		t.Errorf("mean rel err %v", re)
+	}
+}
+
+func TestRobustTolerantUnderFaults(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	inst := RandomInstance(rng, 5, 6, 5)
+	ok := 0
+	const trials = 5
+	for trial := 0; trial < trials; trial++ {
+		u := fpu.New(fpu.WithFaultRate(0.02, uint64(trial+1)))
+		d, _, err := inst.Robust(u, Options{Iters: 20000, Tail: 4000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inst.MeanRelErr(d) < 0.10 {
+			ok++
+		}
+	}
+	if ok < 3 {
+		t.Errorf("robust APSP at 2%% faults: %d/%d within 10%%", ok, trials)
+	}
+}
+
+func TestLPShape(t *testing.T) {
+	inst := triangle()
+	lp := inst.LP()
+	if err := lp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if lp.Dim() != 6 {
+		t.Errorf("vars = %d, want 6", lp.Dim())
+	}
+	// The exact distances must be LP-feasible.
+	n := inst.G.N
+	x := make([]float64, lp.Dim())
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				x[varIndex(n, i, j)] = inst.Exact.At(i, j)
+			}
+		}
+	}
+	if v := lp.MaxViolation(x); v > 1e-9 {
+		t.Errorf("exact distances violate the LP by %v", v)
+	}
+}

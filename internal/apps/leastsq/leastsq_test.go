@@ -1,0 +1,203 @@
+package leastsq
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"robustify/internal/fpu"
+	"robustify/internal/solver"
+)
+
+func testInstance(t *testing.T, m, n int) *Instance {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	inst, err := Random(rng, m, n, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func TestIdealSolutionResidualMinimal(t *testing.T) {
+	inst := testInstance(t, 40, 6)
+	if re := inst.RelErr(inst.Ideal); re != 0 {
+		t.Errorf("RelErr(ideal) = %v", re)
+	}
+	if inst.RelErr(nil) < 1e29 {
+		t.Error("nil solution should score as catastrophic")
+	}
+	if inst.RelErr([]float64{math.NaN(), 0, 0, 0, 0, 0}) < 1e29 {
+		t.Error("NaN solution should score as catastrophic")
+	}
+}
+
+func TestSGDReachesIdealReliably(t *testing.T) {
+	inst := testInstance(t, 100, 10)
+	x, res, err := inst.SolveSGD(nil, SGDOptions{Iters: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re := inst.RelErr(x); re > 1e-3 {
+		t.Errorf("SGD rel err on reliable unit = %v (iters=%d)", re, res.Iters)
+	}
+}
+
+func TestSGDWithAggressiveImproves(t *testing.T) {
+	inst := testInstance(t, 100, 10)
+	xPlain, _, err := inst.SolveSGD(nil, SGDOptions{Iters: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xAS, _, err := inst.SolveSGD(nil, SGDOptions{
+		Iters:      300,
+		Aggressive: solver.DefaultAggressive(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.RelErr(xAS) > inst.RelErr(xPlain)*1.1 {
+		t.Errorf("AS made things worse: %v vs %v", inst.RelErr(xAS), inst.RelErr(xPlain))
+	}
+}
+
+func TestSGDTolerantUnderFaults(t *testing.T) {
+	inst := testInstance(t, 100, 10)
+	ok := 0
+	const trials = 8
+	for trial := 0; trial < trials; trial++ {
+		u := fpu.New(fpu.WithFaultRate(0.01, uint64(trial+1)))
+		x, _, err := inst.SolveSGD(u, SGDOptions{Iters: 1000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inst.RelErr(x) < 0.05 {
+			ok++
+		}
+	}
+	if ok < trials/2 {
+		t.Errorf("SGD at 1%% faults succeeded only %d/%d", ok, trials)
+	}
+}
+
+func TestBaselinesExactReliably(t *testing.T) {
+	inst := testInstance(t, 60, 8)
+	for name, solve := range map[string]func(*fpu.Unit) []float64{
+		"svd":      inst.SolveSVD,
+		"qr":       inst.SolveQR,
+		"cholesky": inst.SolveCholesky,
+	} {
+		x := solve(nil)
+		if x == nil {
+			t.Fatalf("%s returned nil on reliable unit", name)
+		}
+		if re := inst.RelErr(x); re > 1e-8 {
+			t.Errorf("%s rel err = %v on reliable unit", name, re)
+		}
+	}
+}
+
+func TestBaselinesFragileUnderFaults(t *testing.T) {
+	inst := testInstance(t, 60, 8)
+	const trials = 10
+	for name, solve := range map[string]func(*fpu.Unit) []float64{
+		"svd":      inst.SolveSVD,
+		"qr":       inst.SolveQR,
+		"cholesky": inst.SolveCholesky,
+	} {
+		bad := 0
+		for trial := 0; trial < trials; trial++ {
+			u := fpu.New(fpu.WithFaultRate(0.02, uint64(trial+1)))
+			if inst.RelErr(solve(u)) > 1e-3 {
+				bad++
+			}
+		}
+		if bad == 0 {
+			t.Errorf("%s never degraded at 2%% faults", name)
+		}
+	}
+}
+
+func TestCGExactReliably(t *testing.T) {
+	inst := testInstance(t, 100, 10)
+	x, _, err := inst.SolveCG(nil, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re := inst.RelErr(x); re > 1e-8 {
+		t.Errorf("CG(10) rel err on reliable unit = %v", re)
+	}
+}
+
+func TestCGCheaperThanSVD(t *testing.T) {
+	// §6.3 compares solver costs. In raw FLOPs (our measure; the paper
+	// measured wall-clock on the Leon3) CG with 10 iterations undercuts
+	// the Jacobi SVD by a wide margin and stays within a small factor of
+	// QR/Cholesky — see EXPERIMENTS.md for the full accounting.
+	inst := testInstance(t, 100, 10)
+	count := func(f func(*fpu.Unit) []float64) uint64 {
+		u := fpu.New()
+		f(u)
+		return u.FLOPs()
+	}
+	uCG := fpu.New()
+	if _, _, err := inst.SolveCG(uCG, 10, 0); err != nil {
+		t.Fatal(err)
+	}
+	cg := uCG.FLOPs()
+	svd := count(inst.SolveSVD)
+	qr := count(inst.SolveQR)
+	chol := count(inst.SolveCholesky)
+	if cg >= svd {
+		t.Errorf("CG FLOPs (%d) should be below SVD (%d)", cg, svd)
+	}
+	if cg > 3*qr {
+		t.Errorf("CG FLOPs (%d) unexpectedly far above QR (%d)", cg, qr)
+	}
+	if cg > 3*chol {
+		t.Errorf("CG FLOPs (%d) unexpectedly far above Cholesky (%d)", cg, chol)
+	}
+}
+
+func TestEnergySweepShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	inst, err := Random(rng, 40, 6, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := DefaultEnergyOptions()
+	o.Trials = 3
+	o.Rates = []float64{1e-6, 1e-3}
+	o.Iters = []int{6, 12}
+	pts := inst.EnergySweep([]float64{1e-1, 1e-4}, o)
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		if math.IsInf(p.BaselineEnergy, 1) {
+			t.Errorf("baseline infeasible at target %v", p.Target)
+		}
+	}
+	// The loose target must be feasible for CG and at most as expensive as
+	// the tight one.
+	if !pts[0].Feasible {
+		t.Error("CG infeasible at 1e-1 target")
+	}
+	if pts[1].Feasible && pts[1].CGEnergy < pts[0].CGEnergy {
+		t.Error("tighter target cheaper than loose target")
+	}
+}
+
+func TestRandomRejectsBadShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	defer func() {
+		if recover() == nil {
+			t.Error("Random with m<n must fail during factorization")
+		}
+	}()
+	// m < n: QR returns an error instead of panicking; verify error path.
+	if _, err := Random(rng, 2, 5, 0); err == nil {
+		t.Error("wide system accepted")
+	}
+	panic("expected") // reach the deferred check uniformly
+}

@@ -1,0 +1,172 @@
+package robsort
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"robustify/internal/fpu"
+	"robustify/internal/solver"
+)
+
+func TestBaselineSortsReliably(t *testing.T) {
+	f := func(data []float64) bool {
+		for i, v := range data {
+			if math.IsNaN(v) {
+				data[i] = 0
+			}
+		}
+		out := Baseline(nil, data)
+		return Success(out, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBaselineAlwaysPermutation(t *testing.T) {
+	// Even under heavy faults, data movement is exact: the output is a
+	// permutation (just possibly misordered).
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		data := make([]float64, 5+rng.Intn(30))
+		for i := range data {
+			data[i] = rng.NormFloat64()
+		}
+		u := fpu.New(fpu.WithFaultRate(0.3, uint64(trial+1)))
+		out := Baseline(u, data)
+		if !SameMultiset(out, data) {
+			t.Fatalf("trial %d: output lost elements", trial)
+		}
+	}
+}
+
+func TestBaselineDegradesUnderFaults(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	fails := 0
+	const trials = 40
+	for trial := 0; trial < trials; trial++ {
+		data := make([]float64, 16)
+		for i := range data {
+			data[i] = rng.NormFloat64()
+		}
+		u := fpu.New(fpu.WithFaultRate(0.1, uint64(trial+1)))
+		if !Success(Baseline(u, data), data) {
+			fails++
+		}
+	}
+	if fails == 0 {
+		t.Error("baseline sort never failed at 10% fault rate")
+	}
+}
+
+func TestRobustSortsReliably(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		data := make([]float64, 5)
+		for i := range data {
+			data[i] = rng.NormFloat64() * 10
+		}
+		// 10 000 iterations is the paper's Fig 6.1 setting; shorter runs
+		// can transiently misorder near-tied values (price-mode
+		// oscillation) before the tilt settles.
+		out, _, err := Robust(nil, data, Options{Iters: 10000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Success(out, data) {
+			t.Fatalf("trial %d: robust sort failed reliably: %v -> %v", trial, data, out)
+		}
+	}
+}
+
+func TestRobustSortUnderFaults(t *testing.T) {
+	// Fig 6.1's headline: SGD with sqrt scaling sorts 5-element arrays
+	// even at high fault rates.
+	rng := rand.New(rand.NewSource(4))
+	ok := 0
+	const trials = 10
+	for trial := 0; trial < trials; trial++ {
+		data := make([]float64, 5)
+		for i, p := range rng.Perm(5) {
+			data[i] = float64(p+1) * 2.5
+		}
+		u := fpu.New(fpu.WithFaultRate(0.05, uint64(trial+1)))
+		out, _, err := Robust(u, data, Options{
+			Iters:      4000,
+			Tail:       800,
+			Aggressive: solver.DefaultAggressive(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if Success(out, data) {
+			ok++
+		}
+	}
+	if ok < 9 {
+		t.Errorf("robust sort at 5%% faults: %d/%d", ok, trials)
+	}
+}
+
+func TestRobustEdgeCases(t *testing.T) {
+	if _, _, err := Robust(nil, nil, Options{Iters: 1}); err == nil {
+		t.Error("empty input accepted")
+	}
+	out, _, err := Robust(nil, []float64{7}, Options{Iters: 1})
+	if err != nil || len(out) != 1 || out[0] != 7 {
+		t.Errorf("singleton: %v %v", out, err)
+	}
+	// Constant arrays sort trivially under any permutation.
+	out, _, err = Robust(nil, []float64{2, 2, 2}, Options{Iters: 500})
+	if err != nil || !Success(out, []float64{2, 2, 2}) {
+		t.Errorf("constant array: %v %v", out, err)
+	}
+	// Negative values exercise the positivity shift.
+	data := []float64{-5, -1, -3}
+	out, _, err = Robust(nil, data, Options{Iters: 2000})
+	if err != nil || !Success(out, data) {
+		t.Errorf("negative array: %v %v", out, err)
+	}
+}
+
+func TestSortedPredicate(t *testing.T) {
+	if !Sorted([]float64{1, 2, 2, 3}) {
+		t.Error("sorted slice misreported")
+	}
+	if Sorted([]float64{2, 1}) {
+		t.Error("unsorted slice accepted")
+	}
+	if Sorted([]float64{1, math.NaN()}) {
+		t.Error("NaN accepted")
+	}
+	if !Sorted(nil) {
+		t.Error("empty slice should be sorted")
+	}
+}
+
+func TestSameMultiset(t *testing.T) {
+	if !SameMultiset([]float64{1, 2, 2}, []float64{2, 1, 2}) {
+		t.Error("same multiset misreported")
+	}
+	if SameMultiset([]float64{1, 2}, []float64{1, 3}) {
+		t.Error("different multiset accepted")
+	}
+	if SameMultiset([]float64{1}, []float64{1, 1}) {
+		t.Error("different length accepted")
+	}
+}
+
+func TestSuccessRequiresBoth(t *testing.T) {
+	in := []float64{3, 1, 2}
+	if !Success([]float64{1, 2, 3}, in) {
+		t.Error("correct sort rejected")
+	}
+	if Success([]float64{1, 2, 4}, in) {
+		t.Error("wrong multiset accepted")
+	}
+	if Success([]float64{3, 2, 1}, in) {
+		t.Error("misordered output accepted")
+	}
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+
+	"robustify/internal/fpu"
+	"robustify/internal/linalg"
+)
+
+// LeastSquares is the variational form of §4.1: minimize f(x) = ‖Ax − b‖².
+// It is the transformation target of both the least squares application and
+// the IIR filter (whose banded post-condition ‖Bx − Au‖² is the same shape).
+// Gradients ∇f = Aᵀ(Ax − b) are evaluated on the stochastic FPU; the paper
+// folds the conventional factor 2 into the step size, and so do we.
+type LeastSquares struct {
+	u  *fpu.Unit
+	a  linalg.Operator
+	b  []float64
+	r  []float64 // residual scratch (rows)
+	rv []float64 // reliable-value scratch (rows)
+}
+
+var _ Problem = (*LeastSquares)(nil)
+
+// NewLeastSquares builds the variational problem min ‖a·x − b‖² with
+// gradients on u.
+func NewLeastSquares(u *fpu.Unit, a linalg.Operator, b []float64) (*LeastSquares, error) {
+	rows, _ := a.Dims()
+	if len(b) != rows {
+		return nil, fmt.Errorf("%w: rhs has %d entries for %d rows", ErrBadProgram, len(b), rows)
+	}
+	return &LeastSquares{
+		u: u, a: a, b: b,
+		r:  make([]float64, rows),
+		rv: make([]float64, rows),
+	}, nil
+}
+
+// FPU returns the stochastic unit gradients are evaluated on.
+func (l *LeastSquares) FPU() *fpu.Unit { return l.u }
+
+// Operator returns the system operator.
+func (l *LeastSquares) Operator() linalg.Operator { return l.a }
+
+// Rhs returns the right-hand side.
+func (l *LeastSquares) Rhs() []float64 { return l.b }
+
+// Dim implements Problem.
+func (l *LeastSquares) Dim() int {
+	_, cols := l.a.Dims()
+	return cols
+}
+
+// Grad implements Problem: grad ← Aᵀ(Ax − b) on the stochastic FPU.
+func (l *LeastSquares) Grad(x, grad []float64) {
+	l.a.MulVec(l.u, x, l.r)
+	linalg.Sub(l.u, l.r, l.b, l.r)
+	l.a.TMulVec(l.u, l.r, grad)
+}
+
+// Value implements Problem: the exact residual norm ‖Ax − b‖², evaluated
+// reliably for the solver's control path.
+func (l *LeastSquares) Value(x []float64) float64 {
+	l.a.MulVec(nil, x, l.rv)
+	linalg.Sub(nil, l.rv, l.b, l.rv)
+	return linalg.SqNorm2(nil, l.rv)
+}
+
+// Lipschitz estimates λmax(AᵀA), the gradient's Lipschitz constant, as a
+// reliable setup step. Step sizes around 1/λmax are stable for this
+// problem.
+func (l *LeastSquares) Lipschitz() float64 {
+	return linalg.PowerEstimate(l.a, 30)
+}

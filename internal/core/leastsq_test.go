@@ -1,0 +1,111 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"robustify/internal/linalg"
+)
+
+func randSystem(rng *rand.Rand, m, n int) (*linalg.Dense, []float64, []float64) {
+	a := linalg.NewDense(m, n)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	xTrue := make([]float64, n)
+	for i := range xTrue {
+		xTrue[i] = rng.NormFloat64()
+	}
+	b := make([]float64, m)
+	a.MulVec(nil, xTrue, b)
+	return a, xTrue, b
+}
+
+func TestNewLeastSquaresShape(t *testing.T) {
+	a := linalg.NewDense(4, 2)
+	if _, err := NewLeastSquares(nil, a, make([]float64, 3)); err == nil {
+		t.Error("rhs/rows mismatch accepted")
+	}
+	ls, err := NewLeastSquares(nil, a, make([]float64, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ls.Dim() != 2 {
+		t.Errorf("Dim = %d", ls.Dim())
+	}
+}
+
+func TestLeastSquaresValueZeroAtSolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a, xTrue, b := randSystem(rng, 10, 3)
+	ls, err := NewLeastSquares(nil, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := ls.Value(xTrue); v > 1e-18 {
+		t.Errorf("Value(x*) = %v, want ~0", v)
+	}
+}
+
+func TestLeastSquaresGradMatchesFiniteDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a, _, b := randSystem(rng, 8, 4)
+	ls, err := NewLeastSquares(nil, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 4)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	grad := make([]float64, 4)
+	ls.Grad(x, grad)
+	const h = 1e-6
+	for i := range x {
+		xp := append([]float64(nil), x...)
+		xm := append([]float64(nil), x...)
+		xp[i] += h
+		xm[i] -= h
+		// Grad drops the conventional factor 2 (folded into step size), so
+		// the analytic gradient is half the finite difference of ‖r‖².
+		fd := (ls.Value(xp) - ls.Value(xm)) / (4 * h)
+		if math.Abs(fd-grad[i]) > 1e-5*(1+math.Abs(fd)) {
+			t.Errorf("grad[%d] = %v, fd/2 = %v", i, grad[i], fd)
+		}
+	}
+}
+
+func TestLeastSquaresLipschitz(t *testing.T) {
+	// diag(3, 1): AᵀA has eigenvalues 9 and 1.
+	a := linalg.DenseOf([][]float64{{3, 0}, {0, 1}})
+	ls, err := NewLeastSquares(nil, a, []float64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l := ls.Lipschitz(); math.Abs(l-9) > 1e-6 {
+		t.Errorf("Lipschitz = %v, want 9", l)
+	}
+}
+
+func TestLeastSquaresBandedOperator(t *testing.T) {
+	// The IIR shape: banded operator through the same problem type.
+	band := linalg.NewLowerBand(6, []float64{1, -0.5})
+	xTrue := []float64{1, 2, 3, 4, 5, 6}
+	b := make([]float64, 6)
+	band.MulVec(nil, xTrue, b)
+	ls, err := NewLeastSquares(nil, band, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := ls.Value(xTrue); v > 1e-18 {
+		t.Errorf("banded Value(x*) = %v", v)
+	}
+	grad := make([]float64, 6)
+	ls.Grad(xTrue, grad)
+	for i, g := range grad {
+		if math.Abs(g) > 1e-12 {
+			t.Errorf("grad[%d] = %v at the optimum", i, g)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+// Package core implements the paper's central contribution: a methodology
+// for transforming applications into numerical optimization problems whose
+// solution can be recovered by stochastic optimization on a processor with a
+// faulty FPU.
+//
+// An application is recast as a constrained variational problem
+//
+//	minimize f(x)  subject to  g(x) ≤ 0, h(x) = 0,
+//
+// which is mechanically converted to an unconstrained exact penalty form
+// (Theorem 2 of the paper)
+//
+//	f(x) + μ·Σ|hᵢ(x)| + μ·Σ[gⱼ(x)]₊   (or the quadratic variant),
+//
+// and handed to a stochastic solver (package solver). Gradient evaluation —
+// the bulk of the computation — runs on the stochastic FPU; the cheap
+// control steps (objective evaluation for aggressive stepping, penalty
+// annealing, rounding) are assumed reliable, exactly as in the paper.
+package core
+
+import "robustify/internal/fpu"
+
+// Problem is an unconstrained minimization problem in robustified form.
+type Problem interface {
+	// Dim returns the number of optimization variables.
+	Dim() int
+	// Grad writes a (noisy) subgradient of the objective at x into grad.
+	// It is evaluated on the problem's stochastic FPU and is the only
+	// place where faults enter the computation.
+	Grad(x, grad []float64)
+	// Value evaluates the objective at x reliably. The solver uses it only
+	// in control steps (aggressive stepping, convergence checks), which
+	// the paper assumes are protected.
+	Value(x []float64) float64
+}
+
+// Annealable is implemented by penalty-form problems whose constraint
+// weight μ can be raised as the solver approaches the optimum (§6.2.4).
+type Annealable interface {
+	// PenaltyWeight returns the current multiplier μ on the penalty terms.
+	PenaltyWeight() float64
+	// SetPenaltyWeight replaces the multiplier.
+	SetPenaltyWeight(mu float64)
+}
+
+// Preconditioned is implemented by problems that optimize in a transformed
+// coordinate system y = R·x (§6.2.1) and must map solutions back.
+type Preconditioned interface {
+	// Recover maps a solution of the preconditioned problem back to the
+	// original variables (reliable control step).
+	Recover(y []float64) ([]float64, error)
+	// InitialY maps an initial iterate of the original problem into the
+	// preconditioned coordinates.
+	InitialY(x0 []float64) []float64
+}
+
+// Unit returns p's stochastic FPU if the problem exposes one, or nil.
+func Unit(p Problem) *fpu.Unit {
+	if h, ok := p.(interface{ FPU() *fpu.Unit }); ok {
+		return h.FPU()
+	}
+	return nil
+}

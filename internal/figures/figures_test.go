@@ -1,0 +1,125 @@
+package figures
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"5.1", "5.2", "6.1", "6.2", "6.3", "6.4", "6.5", "6.6", "6.7", "momentum", "flops", "faultmodel", "penalty", "svm", "graphlp", "eigen"}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d figures, want %d", len(all), len(want))
+	}
+	for i, id := range want {
+		if all[i].ID != id {
+			t.Errorf("figure %d = %q, want %q", i, all[i].ID, id)
+		}
+		if all[i].Build == nil {
+			t.Errorf("figure %q has no builder", id)
+		}
+		if Lookup(id) == nil {
+			t.Errorf("Lookup(%q) = nil", id)
+		}
+	}
+	if Lookup("nope") != nil {
+		t.Error("Lookup of unknown id should be nil")
+	}
+}
+
+// TestAllFiguresQuick smoke-runs every figure in Quick mode and validates
+// structural invariants: non-empty series, finite or sentinel values, and
+// renderability.
+func TestAllFiguresQuick(t *testing.T) {
+	for _, f := range All() {
+		f := f
+		t.Run(f.ID, func(t *testing.T) {
+			t.Parallel()
+			table := f.Build(Config{Quick: true, Seed: 2})
+			if table.Title == "" {
+				t.Error("empty title")
+			}
+			if len(table.Series) == 0 {
+				t.Fatal("no series")
+			}
+			for _, s := range table.Series {
+				if s.Name == "" {
+					t.Error("unnamed series")
+				}
+				if len(s.Points) == 0 {
+					t.Errorf("series %q empty", s.Name)
+				}
+				for _, p := range s.Points {
+					if math.IsNaN(p.Value) {
+						t.Errorf("series %q has NaN at rate %v", s.Name, p.Rate)
+					}
+				}
+			}
+			var buf bytes.Buffer
+			if err := table.Render(&buf); err != nil {
+				t.Fatalf("render: %v", err)
+			}
+			if err := table.CSV(&buf); err != nil {
+				t.Fatalf("csv: %v", err)
+			}
+		})
+	}
+}
+
+// TestFig61Shape checks the headline of Fig 6.1 in quick mode: the robust
+// SQS sort beats the quicksort baseline at the highest fault rate.
+func TestFig61Shape(t *testing.T) {
+	table := Fig61(Config{Quick: true, Seed: 3})
+	var base, sqs float64 = -1, -1
+	for _, s := range table.Series {
+		last := s.Points[len(s.Points)-1].Value
+		switch s.Name {
+		case "Base":
+			base = last
+		case "SGD+AS,SQS":
+			sqs = last
+		}
+	}
+	if base < 0 || sqs < 0 {
+		t.Fatal("series missing")
+	}
+	if sqs <= base {
+		t.Errorf("SQS (%v) should beat the baseline (%v) at the top fault rate", sqs, base)
+	}
+}
+
+// TestFig66Shape checks that CG tolerates the mid fault rates that break
+// the direct baselines. (At the extreme top rate every solver saturates;
+// the paper's figure does not reach that regime.)
+func TestFig66Shape(t *testing.T) {
+	table := Fig66(Config{Quick: true, Seed: 4})
+	var cg, chol float64 = -1, -1
+	for _, s := range table.Series {
+		v := s.Points[len(s.Points)/2].Value
+		switch s.Name {
+		case "CG, N=10":
+			cg = v
+		case "Base: Cholesky":
+			chol = v
+		}
+	}
+	if cg < 0 || chol < 0 {
+		t.Fatal("series missing")
+	}
+	if cg >= chol {
+		t.Errorf("CG error (%v) should undercut Cholesky (%v) at the mid fault rate", cg, chol)
+	}
+}
+
+func TestConfigTrials(t *testing.T) {
+	if got := (Config{}).trials(10, 2); got != 10 {
+		t.Errorf("default trials = %d", got)
+	}
+	if got := (Config{Quick: true}).trials(10, 2); got != 2 {
+		t.Errorf("quick trials = %d", got)
+	}
+	if got := (Config{Trials: 7, Quick: true}).trials(10, 2); got != 7 {
+		t.Errorf("explicit trials = %d", got)
+	}
+}

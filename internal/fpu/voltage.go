@@ -1,0 +1,85 @@
+package fpu
+
+import "math"
+
+// VoltageModel maps FPU supply voltage to timing-error rate and per-FLOP
+// power, standing in for the circuit-level simulation data behind Fig 5.2
+// of the paper. The curve has the canonical voltage-overscaling shape: no
+// observable errors at or above the guardband knee, then an exponential rise
+// (one decade of error rate per DecadeStep volts of undervolt) that
+// saturates at MaxRate once almost every operation misses timing.
+//
+// Power follows the CV²f dynamic-power rule normalized so that one FLOP at
+// nominal voltage costs 1 energy unit; running the FPU at a scaled voltage
+// charges (V/Nominal)² per FLOP. Energy for a run is therefore
+// power × #FLOPs, the y-axis of Fig 6.7.
+type VoltageModel struct {
+	// Nominal is the guardbanded supply voltage with zero observed errors.
+	Nominal float64
+	// Knee is the voltage at which the first timing errors appear.
+	Knee float64
+	// KneeRate is the error rate (errors/op) right at the knee.
+	KneeRate float64
+	// DecadeStep is how many volts of further scaling raise the error rate
+	// by 10x.
+	DecadeStep float64
+	// MaxRate caps the error rate: below some voltage, roughly half of all
+	// result words are corrupted and the rate saturates.
+	MaxRate float64
+}
+
+// DefaultVoltageModel returns the model used throughout the experiments:
+// 1.20 V nominal (Leon3 on Stratix II class fabric), first errors at 1.00 V
+// at 1e-8 errors/op, one decade per 50 mV, saturating at 0.5 errors/op.
+func DefaultVoltageModel() VoltageModel {
+	return VoltageModel{
+		Nominal:    1.20,
+		Knee:       1.00,
+		KneeRate:   1e-8,
+		DecadeStep: 0.05,
+		MaxRate:    0.5,
+	}
+}
+
+// ErrorRate returns the expected faults per floating point operation at
+// supply voltage v.
+func (m VoltageModel) ErrorRate(v float64) float64 {
+	if v >= m.Knee {
+		return 0
+	}
+	rate := m.KneeRate * math.Pow(10, (m.Knee-v)/m.DecadeStep)
+	if rate > m.MaxRate {
+		rate = m.MaxRate
+	}
+	return rate
+}
+
+// VoltageFor returns the highest voltage whose error rate does not exceed
+// rate. Rates at or below zero return the knee voltage (first error-free
+// point); rates at or above MaxRate return the voltage where the curve
+// saturates.
+func (m VoltageModel) VoltageFor(rate float64) float64 {
+	if rate <= 0 {
+		return m.Knee
+	}
+	if rate >= m.MaxRate {
+		rate = m.MaxRate
+	}
+	if rate <= m.KneeRate {
+		return m.Knee
+	}
+	return m.Knee - m.DecadeStep*math.Log10(rate/m.KneeRate)
+}
+
+// Power returns the per-FLOP energy charge at voltage v, normalized to 1 at
+// the nominal voltage.
+func (m VoltageModel) Power(v float64) float64 {
+	r := v / m.Nominal
+	return r * r
+}
+
+// PowerForRate returns the per-FLOP energy charge when the FPU is
+// overscaled to the voltage that produces the given error rate.
+func (m VoltageModel) PowerForRate(rate float64) float64 {
+	return m.Power(m.VoltageFor(rate))
+}

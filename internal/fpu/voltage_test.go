@@ -1,0 +1,88 @@
+package fpu
+
+import (
+	"math"
+	"testing"
+)
+
+func TestErrorRateAboveKneeIsZero(t *testing.T) {
+	m := DefaultVoltageModel()
+	for _, v := range []float64{m.Knee, m.Knee + 0.01, m.Nominal, 1.5} {
+		if r := m.ErrorRate(v); r != 0 {
+			t.Errorf("ErrorRate(%v) = %v, want 0", v, r)
+		}
+	}
+}
+
+func TestErrorRateMonotoneBelowKnee(t *testing.T) {
+	m := DefaultVoltageModel()
+	prev := 0.0
+	for v := m.Knee; v >= 0.5; v -= 0.01 {
+		r := m.ErrorRate(v)
+		if r < prev {
+			t.Fatalf("error rate decreased at %vV: %v < %v", v, r, prev)
+		}
+		prev = r
+	}
+}
+
+func TestErrorRateDecadeStep(t *testing.T) {
+	m := DefaultVoltageModel()
+	v := m.Knee - 0.10
+	r1, r2 := m.ErrorRate(v), m.ErrorRate(v-m.DecadeStep)
+	if math.Abs(r2/r1-10) > 1e-6 {
+		t.Errorf("one DecadeStep scaled rate by %v, want 10", r2/r1)
+	}
+}
+
+func TestErrorRateSaturates(t *testing.T) {
+	m := DefaultVoltageModel()
+	if r := m.ErrorRate(0.1); r != m.MaxRate {
+		t.Errorf("deep overscale rate = %v, want saturation at %v", r, m.MaxRate)
+	}
+}
+
+func TestVoltageForInvertsErrorRate(t *testing.T) {
+	m := DefaultVoltageModel()
+	for _, rate := range []float64{1e-7, 1e-5, 1e-3, 1e-2, 0.1, 0.4} {
+		v := m.VoltageFor(rate)
+		got := m.ErrorRate(v)
+		if math.Abs(math.Log10(got)-math.Log10(rate)) > 1e-9 {
+			t.Errorf("ErrorRate(VoltageFor(%v)) = %v", rate, got)
+		}
+	}
+}
+
+func TestVoltageForEdgeCases(t *testing.T) {
+	m := DefaultVoltageModel()
+	if v := m.VoltageFor(0); v != m.Knee {
+		t.Errorf("VoltageFor(0) = %v, want knee %v", v, m.Knee)
+	}
+	if v := m.VoltageFor(1e-12); v != m.Knee {
+		t.Errorf("VoltageFor(below knee rate) = %v, want knee", v)
+	}
+	vMax := m.VoltageFor(m.MaxRate)
+	if v := m.VoltageFor(0.99); v != vMax {
+		t.Errorf("VoltageFor(0.99) = %v, want clamp at %v", v, vMax)
+	}
+}
+
+func TestPowerNormalization(t *testing.T) {
+	m := DefaultVoltageModel()
+	if p := m.Power(m.Nominal); math.Abs(p-1) > 1e-12 {
+		t.Errorf("Power(nominal) = %v, want 1", p)
+	}
+	if p := m.Power(m.Nominal / 2); math.Abs(p-0.25) > 1e-12 {
+		t.Errorf("Power(nominal/2) = %v, want 0.25 (V^2 law)", p)
+	}
+}
+
+func TestPowerForRateCheaperWhenNoisy(t *testing.T) {
+	m := DefaultVoltageModel()
+	quiet := m.PowerForRate(1e-8)
+	noisy := m.PowerForRate(1e-2)
+	if noisy >= quiet {
+		t.Errorf("power at high error rate (%v) should be below low-rate power (%v)",
+			noisy, quiet)
+	}
+}

@@ -1,0 +1,192 @@
+// Package graph provides the graph types, reference algorithms, and random
+// instance generators behind the paper's combinatorial benchmarks: bipartite
+// matching (Hungarian), max-flow (Edmonds-Karp / Ford-Fulkerson), and
+// all-pairs shortest paths (Floyd-Warshall, Dijkstra).
+//
+// Every algorithm that the paper runs as a faulty baseline takes an
+// *fpu.Unit and routes its floating point arithmetic and comparisons through
+// it; pass a nil unit for an exact reference run. Under fault injection the
+// algorithms guard against corrupted control decisions (they bail out and
+// report failure instead of looping or panicking), because a crashed
+// baseline is still a data point in the paper's success-rate figures.
+package graph
+
+import (
+	"math/rand"
+
+	"robustify/internal/linalg"
+)
+
+// NoEdge is the sentinel length for absent edges in shortest-path inputs.
+// A large finite value (rather than +Inf) keeps faulty-FPU arithmetic from
+// collapsing to NaN on the first corrupted addition.
+const NoEdge = 1e9
+
+// Bipartite is a weighted bipartite graph over left vertices 0..Left-1 and
+// right vertices 0..Right-1. Missing edges carry weight 0 in W and false in
+// Has.
+type Bipartite struct {
+	Left, Right int
+	W           *linalg.Dense // Left×Right edge weights
+	Has         *[][]bool     // nil means complete
+	hasData     [][]bool
+}
+
+// NewBipartite returns an empty bipartite graph with the given part sizes.
+func NewBipartite(left, right int) *Bipartite {
+	b := &Bipartite{Left: left, Right: right, W: linalg.NewDense(left, right)}
+	b.hasData = make([][]bool, left)
+	for i := range b.hasData {
+		b.hasData[i] = make([]bool, right)
+	}
+	b.Has = &b.hasData
+	return b
+}
+
+// AddEdge inserts (or overwrites) the edge i–j with weight w.
+func (b *Bipartite) AddEdge(i, j int, w float64) {
+	b.W.Set(i, j, w)
+	b.hasData[i][j] = true
+}
+
+// HasEdge reports whether edge i–j exists.
+func (b *Bipartite) HasEdge(i, j int) bool { return b.hasData[i][j] }
+
+// Edges returns the number of edges.
+func (b *Bipartite) Edges() int {
+	n := 0
+	for i := range b.hasData {
+		for j := range b.hasData[i] {
+			if b.hasData[i][j] {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// MatchingWeight sums the weight of a row→col assignment (−1 = unmatched),
+// returning −1 validity when the assignment uses a non-edge or repeats a
+// column. Computed reliably (metric path).
+func (b *Bipartite) MatchingWeight(assign []int) (weight float64, valid bool) {
+	if len(assign) != b.Left {
+		return 0, false
+	}
+	used := make([]bool, b.Right)
+	for i, j := range assign {
+		if j == -1 {
+			continue
+		}
+		if j < 0 || j >= b.Right || used[j] || !b.hasData[i][j] {
+			return 0, false
+		}
+		used[j] = true
+		weight += b.W.At(i, j)
+	}
+	return weight, true
+}
+
+// RandomBipartite generates a connected-ish random bipartite graph with the
+// requested number of edges and weights uniform in [minW, maxW). The
+// paper's Fig 6.4/6.5 instance is 11 nodes (5 left, 6 right) and 30 edges.
+func RandomBipartite(rng *rand.Rand, left, right, edges int, minW, maxW float64) *Bipartite {
+	b := NewBipartite(left, right)
+	total := left * right
+	if edges > total {
+		edges = total
+	}
+	// Guarantee every left vertex has at least one edge so a full matching
+	// of the smaller side can exist.
+	perm := rng.Perm(right)
+	placed := 0
+	for i := 0; i < left && placed < edges; i++ {
+		j := perm[i%right]
+		b.AddEdge(i, j, minW+(maxW-minW)*rng.Float64())
+		placed++
+	}
+	for placed < edges {
+		i, j := rng.Intn(left), rng.Intn(right)
+		if b.HasEdge(i, j) {
+			continue
+		}
+		b.AddEdge(i, j, minW+(maxW-minW)*rng.Float64())
+		placed++
+	}
+	return b
+}
+
+// FlowNetwork is a capacitated directed graph for max-flow problems.
+type FlowNetwork struct {
+	N            int
+	Cap          *linalg.Dense // Cap.At(i,j) ≥ 0
+	Source, Sink int
+}
+
+// NewFlowNetwork returns an n-node network with zero capacities.
+func NewFlowNetwork(n, source, sink int) *FlowNetwork {
+	return &FlowNetwork{N: n, Cap: linalg.NewDense(n, n), Source: source, Sink: sink}
+}
+
+// RandomFlowNetwork builds a layered random network from source 0 to sink
+// n−1 with the given average out-degree and capacities in [1, maxCap).
+func RandomFlowNetwork(rng *rand.Rand, n int, outDeg int, maxCap float64) *FlowNetwork {
+	f := NewFlowNetwork(n, 0, n-1)
+	// A guaranteed source→…→sink chain keeps the instance feasible.
+	for i := 0; i+1 < n; i++ {
+		f.Cap.Set(i, i+1, 1+(maxCap-1)*rng.Float64())
+	}
+	extra := outDeg * n
+	for e := 0; e < extra; e++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i == j || j == f.Source || i == f.Sink || f.Cap.At(i, j) > 0 {
+			continue
+		}
+		f.Cap.Set(i, j, 1+(maxCap-1)*rng.Float64())
+	}
+	return f
+}
+
+// DiGraph is a directed graph with positive edge lengths for shortest-path
+// problems. Len.At(i,j) == NoEdge encodes a missing edge; the diagonal is 0.
+type DiGraph struct {
+	N   int
+	Len *linalg.Dense
+}
+
+// NewDiGraph returns an n-node edge-less graph.
+func NewDiGraph(n int) *DiGraph {
+	g := &DiGraph{N: n, Len: linalg.NewDense(n, n)}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				g.Len.Set(i, j, NoEdge)
+			}
+		}
+	}
+	return g
+}
+
+// AddEdge sets the length of edge i→j.
+func (g *DiGraph) AddEdge(i, j int, l float64) { g.Len.Set(i, j, l) }
+
+// HasEdge reports whether i→j exists.
+func (g *DiGraph) HasEdge(i, j int) bool {
+	return i != j && g.Len.At(i, j) < NoEdge
+}
+
+// RandomDiGraph builds a strongly connected random digraph (a ring plus
+// random chords) with lengths in [1, maxLen).
+func RandomDiGraph(rng *rand.Rand, n, extraEdges int, maxLen float64) *DiGraph {
+	g := NewDiGraph(n)
+	for i := 0; i < n; i++ {
+		g.AddEdge(i, (i+1)%n, 1+(maxLen-1)*rng.Float64())
+	}
+	for e := 0; e < extraEdges; e++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i == j || g.HasEdge(i, j) {
+			continue
+		}
+		g.AddEdge(i, j, 1+(maxLen-1)*rng.Float64())
+	}
+	return g
+}

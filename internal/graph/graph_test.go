@@ -1,0 +1,303 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"robustify/internal/fpu"
+)
+
+func TestBipartiteBasics(t *testing.T) {
+	b := NewBipartite(2, 3)
+	b.AddEdge(0, 1, 5)
+	b.AddEdge(1, 2, 7)
+	if !b.HasEdge(0, 1) || b.HasEdge(0, 0) {
+		t.Error("HasEdge wrong")
+	}
+	if b.Edges() != 2 {
+		t.Errorf("Edges = %d", b.Edges())
+	}
+	w, valid := b.MatchingWeight([]int{1, 2})
+	if !valid || w != 12 {
+		t.Errorf("MatchingWeight = %v valid=%v", w, valid)
+	}
+	if _, valid := b.MatchingWeight([]int{0, 2}); valid {
+		t.Error("matching using non-edge accepted")
+	}
+	if _, valid := b.MatchingWeight([]int{1, 1}); valid {
+		t.Error("matching reusing a column accepted")
+	}
+	if _, valid := b.MatchingWeight([]int{1}); valid {
+		t.Error("short assignment accepted")
+	}
+	w, valid = b.MatchingWeight([]int{-1, 2})
+	if !valid || w != 7 {
+		t.Errorf("partial matching = %v valid=%v", w, valid)
+	}
+}
+
+func TestRandomBipartiteShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	b := RandomBipartite(rng, 5, 6, 30, 1, 2)
+	if b.Edges() != 30 {
+		t.Errorf("edges = %d, want 30", b.Edges())
+	}
+	for i := 0; i < 5; i++ {
+		found := false
+		for j := 0; j < 6; j++ {
+			if b.HasEdge(i, j) {
+				if w := b.W.At(i, j); w < 1 || w >= 2 {
+					t.Errorf("weight out of range: %v", w)
+				}
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("left vertex %d has no edges", i)
+		}
+	}
+	// Edge cap.
+	small := RandomBipartite(rng, 2, 2, 99, 1, 2)
+	if small.Edges() != 4 {
+		t.Errorf("capped edges = %d, want 4", small.Edges())
+	}
+}
+
+// TestHungarianMatchesBruteForce is the core correctness property of the
+// baseline: on a reliable unit the Hungarian result is optimal.
+func TestHungarianMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		left, right := 1+rng.Intn(5), 1+rng.Intn(5)
+		edges := 1 + rng.Intn(left*right)
+		b := RandomBipartite(rng, left, right, edges, 0.5, 2)
+		assign, ok := Hungarian(nil, b)
+		if !ok {
+			return false
+		}
+		w, valid := b.MatchingWeight(assign)
+		if !valid {
+			return false
+		}
+		_, bestW := BruteForceMatching(b)
+		return math.Abs(w-bestW) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewBipartiteRejectsEmptySides(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewBipartite(0, 3) must panic")
+		}
+	}()
+	NewBipartite(0, 3)
+}
+
+func TestHungarianSingleEdge(t *testing.T) {
+	b := NewBipartite(1, 1)
+	b.AddEdge(0, 0, 2)
+	assign, ok := Hungarian(nil, b)
+	if !ok || assign[0] != 0 {
+		t.Errorf("single edge: assign=%v ok=%v", assign, ok)
+	}
+}
+
+func TestHungarianDegradesUnderFaults(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	b := RandomBipartite(rng, 5, 6, 30, 1, 2)
+	_, bestW := BruteForceMatching(b)
+	failures := 0
+	const trials = 40
+	for trial := 0; trial < trials; trial++ {
+		u := fpu.New(fpu.WithFaultRate(0.05, uint64(trial+1)))
+		assign, ok := Hungarian(u, b)
+		if !ok {
+			failures++
+			continue
+		}
+		w, valid := b.MatchingWeight(assign)
+		if !valid || math.Abs(w-bestW) > 1e-9 {
+			failures++
+		}
+	}
+	if failures == 0 {
+		t.Error("Hungarian at 5% fault rate never failed; fault plumbing broken?")
+	}
+}
+
+func TestMaxFlowSimple(t *testing.T) {
+	// Classic diamond: s=0, t=3; two disjoint paths of capacity 3 and 2.
+	net := NewFlowNetwork(4, 0, 3)
+	net.Cap.Set(0, 1, 3)
+	net.Cap.Set(1, 3, 3)
+	net.Cap.Set(0, 2, 2)
+	net.Cap.Set(2, 3, 2)
+	flow, ok := MaxFlow(nil, net)
+	if !ok {
+		t.Fatal("MaxFlow failed on a reliable unit")
+	}
+	if v := FlowValue(net, flow); math.Abs(v-5) > 1e-9 {
+		t.Errorf("flow value = %v, want 5", v)
+	}
+	if !FlowFeasible(net, flow, 1e-9) {
+		t.Error("flow infeasible")
+	}
+}
+
+func TestMaxFlowBottleneck(t *testing.T) {
+	// s → a → t where the middle edge is the bottleneck.
+	net := NewFlowNetwork(3, 0, 2)
+	net.Cap.Set(0, 1, 10)
+	net.Cap.Set(1, 2, 4)
+	flow, ok := MaxFlow(nil, net)
+	if !ok {
+		t.Fatal("MaxFlow failed")
+	}
+	if v := FlowValue(net, flow); math.Abs(v-4) > 1e-9 {
+		t.Errorf("flow value = %v, want 4", v)
+	}
+}
+
+// TestMaxFlowRandomFeasible: flows on random nets are always feasible and
+// respect the cut bound out of the source.
+func TestMaxFlowRandomFeasible(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(6)
+		net := RandomFlowNetwork(rng, n, 2, 5)
+		flow, ok := MaxFlow(nil, net)
+		if !ok || !FlowFeasible(net, flow, 1e-9) {
+			return false
+		}
+		var srcCap float64
+		for w := 0; w < n; w++ {
+			srcCap += net.Cap.At(net.Source, w)
+		}
+		v := FlowValue(net, flow)
+		return v >= 0 && v <= srcCap+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloydWarshallMatchesDijkstra(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		g := RandomDiGraph(rng, n, 2*n, 9)
+		fw := FloydWarshall(nil, g)
+		dj := AllPairsDijkstra(g)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if math.Abs(fw.At(i, j)-dj.At(i, j)) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDijkstraUnreachable(t *testing.T) {
+	g := NewDiGraph(3)
+	g.AddEdge(0, 1, 2)
+	d := Dijkstra(g, 0)
+	if d[0] != 0 || d[1] != 2 || d[2] != NoEdge {
+		t.Errorf("Dijkstra = %v", d)
+	}
+}
+
+func TestFloydWarshallDegradesUnderFaults(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := RandomDiGraph(rng, 8, 16, 9)
+	exact := AllPairsDijkstra(g)
+	bad := 0
+	const trials = 20
+	for trial := 0; trial < trials; trial++ {
+		u := fpu.New(fpu.WithFaultRate(0.02, uint64(trial+1)))
+		d := FloydWarshall(u, g)
+		for i := 0; i < g.N && bad <= trial; i++ {
+			for j := 0; j < g.N; j++ {
+				if math.Abs(d.At(i, j)-exact.At(i, j)) > 1e-6 {
+					bad++
+					break
+				}
+			}
+		}
+	}
+	if bad == 0 {
+		t.Error("Floyd-Warshall at 2% faults never degraded; plumbing broken?")
+	}
+}
+
+func TestRandomDiGraphStronglyConnected(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := RandomDiGraph(rng, 10, 5, 4)
+	d := AllPairsDijkstra(g)
+	for i := 0; i < g.N; i++ {
+		for j := 0; j < g.N; j++ {
+			if d.At(i, j) >= NoEdge {
+				t.Fatalf("no path %d→%d in ring-based graph", i, j)
+			}
+		}
+	}
+}
+
+func TestRandomFlowNetworkHasPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	net := RandomFlowNetwork(rng, 8, 2, 5)
+	flow, ok := MaxFlow(nil, net)
+	if !ok {
+		t.Fatal("MaxFlow failed")
+	}
+	if FlowValue(net, flow) <= 0 {
+		t.Error("generated network has zero max flow; chain guarantee broken")
+	}
+}
+
+func TestHungarianLeftHeavy(t *testing.T) {
+	// More left vertices than right: some rows must stay unmatched, and
+	// the result must still be optimal.
+	b := NewBipartite(3, 2)
+	b.AddEdge(0, 0, 5)
+	b.AddEdge(1, 0, 9)
+	b.AddEdge(1, 1, 1)
+	b.AddEdge(2, 1, 4)
+	assign, ok := Hungarian(nil, b)
+	if !ok {
+		t.Fatal("failed")
+	}
+	w, valid := b.MatchingWeight(assign)
+	if !valid {
+		t.Fatalf("invalid assignment %v", assign)
+	}
+	_, bestW := BruteForceMatching(b)
+	if math.Abs(w-bestW) > 1e-9 {
+		t.Errorf("weight %v, want %v (assign %v)", w, bestW, assign)
+	}
+	if assign[0] != -1 {
+		t.Errorf("row 0 should be unmatched in the optimum, got %v", assign)
+	}
+}
+
+func TestHungarianNegativeWeightsSkipped(t *testing.T) {
+	// A negative-weight edge should be left out of the matching.
+	b := NewBipartite(1, 1)
+	b.AddEdge(0, 0, -3)
+	assign, ok := Hungarian(nil, b)
+	if !ok {
+		t.Fatal("failed")
+	}
+	if assign[0] != -1 {
+		t.Errorf("negative edge matched: %v", assign)
+	}
+}

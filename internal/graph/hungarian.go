@@ -1,0 +1,182 @@
+package graph
+
+import (
+	"math"
+
+	"robustify/internal/fpu"
+	"robustify/internal/linalg"
+)
+
+// Hungarian solves the maximum-weight bipartite matching problem on b with
+// the O(n³) Hungarian (Kuhn-Munkres) algorithm, the same algorithm behind
+// the OpenCV baseline the paper measures. All weight arithmetic and
+// comparisons flow through u, so a faulty unit corrupts the dual updates
+// exactly as FPU timing errors would.
+//
+// It returns the row→column assignment (−1 for unmatched rows) and ok=false
+// when corrupted arithmetic drove the search into an unrecoverable state —
+// counted as a failed run, matching the paper's success-rate metric.
+func Hungarian(u *fpu.Unit, b *Bipartite) (assign []int, ok bool) {
+	n, m := b.Left, b.Right
+	if n == 0 || m == 0 {
+		return make([]int, n), true
+	}
+	// The potentials formulation solves min-cost on a square matrix.
+	// Convert max-weight to min-cost, padding to size s×s. Non-edges and
+	// padding cells cost exactly maxW — the cost of leaving a row
+	// unmatched — so the minimum-cost assignment maximizes the matching
+	// weight with unmatched rows allowed (they land on maxW cells, which
+	// the caller filters out below).
+	s := n
+	if m > s {
+		s = m
+	}
+	maxW := b.W.MaxAbs()
+	cost := linalg.NewDense(s, s)
+	for i := 0; i < s; i++ {
+		for j := 0; j < s; j++ {
+			if i < n && j < m && b.HasEdge(i, j) {
+				cost.Set(i, j, u.Sub(maxW, b.W.At(i, j)))
+			} else {
+				cost.Set(i, j, maxW)
+			}
+		}
+	}
+	p, ok := assignMinCost(u, cost)
+	if !ok {
+		return nil, false
+	}
+	assign = make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	for i := 0; i < n; i++ {
+		j := p[i]
+		// Padding cells encode "unmatched"; negative-weight edges are
+		// dropped too, since removing one always raises the total weight.
+		if j >= 0 && j < m && b.HasEdge(i, j) && b.W.At(i, j) >= 0 {
+			assign[i] = j
+		}
+	}
+	return assign, true
+}
+
+// assignMinCost runs the potentials/augmenting-path Hungarian method on a
+// square cost matrix, arithmetic on u. Returns row→col.
+func assignMinCost(u *fpu.Unit, cost *linalg.Dense) ([]int, bool) {
+	n := cost.Rows
+	const inf = math.MaxFloat64
+	uPot := make([]float64, n+1)
+	vPot := make([]float64, n+1)
+	p := make([]int, n+1)   // p[j]: row matched to column j (1-based; 0 = none)
+	way := make([]int, n+1) // way[j]: previous column on the alternating path
+	minv := make([]float64, n+1)
+	used := make([]bool, n+1)
+
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		for j := range minv {
+			minv[j] = inf
+			used[j] = false
+		}
+		// Each sweep marks one more column used, so n+1 steps suffice on a
+		// correct machine; the cap guards against fault-corrupted duals.
+		for step := 0; ; step++ {
+			if step > n+1 {
+				return nil, false
+			}
+			used[j0] = true
+			i0 := p[j0]
+			delta := inf
+			j1 := -1
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := u.Sub(u.Sub(cost.At(i0-1, j-1), uPot[i0]), vPot[j])
+				if u.Less(cur, minv[j]) {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if u.Less(minv[j], delta) {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			if j1 < 0 || math.IsNaN(delta) {
+				// Corrupted comparisons left no admissible column.
+				return nil, false
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					uPot[p[j]] = u.Add(uPot[p[j]], delta)
+					vPot[j] = u.Sub(vPot[j], delta)
+				} else {
+					minv[j] = u.Sub(minv[j], delta)
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		// Unwind the alternating path. Corrupted comparisons can leave a
+		// cycle in way[], so the unwind is bounded like the search above.
+		for hop := 0; j0 != 0; hop++ {
+			if hop > n+1 {
+				return nil, false
+			}
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+	assign := make([]int, n)
+	for j := 1; j <= n; j++ {
+		if p[j] > 0 {
+			assign[p[j]-1] = j - 1
+		}
+	}
+	return assign, true
+}
+
+// BruteForceMatching finds the exact maximum-weight matching by exhaustive
+// search (reliable; for tests and tiny reference instances only).
+func BruteForceMatching(b *Bipartite) ([]int, float64) {
+	best := make([]int, b.Left)
+	for i := range best {
+		best[i] = -1
+	}
+	cur := make([]int, b.Left)
+	for i := range cur {
+		cur[i] = -1
+	}
+	usedCol := make([]bool, b.Right)
+	bestW := 0.0
+	var rec func(row int, w float64)
+	rec = func(row int, w float64) {
+		if row == b.Left {
+			if w > bestW {
+				bestW = w
+				copy(best, cur)
+			}
+			return
+		}
+		// Leave this row unmatched.
+		cur[row] = -1
+		rec(row+1, w)
+		for j := 0; j < b.Right; j++ {
+			if usedCol[j] || !b.HasEdge(row, j) {
+				continue
+			}
+			usedCol[j] = true
+			cur[row] = j
+			rec(row+1, w+b.W.At(row, j))
+			cur[row] = -1
+			usedCol[j] = false
+		}
+	}
+	rec(0, 0)
+	return best, bestW
+}

@@ -1,0 +1,111 @@
+package graph
+
+import (
+	"robustify/internal/fpu"
+	"robustify/internal/linalg"
+)
+
+// MaxFlow computes a maximum s–t flow on net with the Ford-Fulkerson method
+// (Edmonds-Karp: BFS augmenting paths), the paper's baseline max-flow
+// implementation. Residual-capacity arithmetic and comparisons flow through
+// u. It returns the flow matrix and ok=false when fault-corrupted residuals
+// prevent the search from terminating within its iteration budget.
+func MaxFlow(u *fpu.Unit, net *FlowNetwork) (flow *linalg.Dense, ok bool) {
+	n := net.N
+	flow = linalg.NewDense(n, n)
+	parent := make([]int, n)
+	queue := make([]int, 0, n)
+	// On a correct machine Edmonds-Karp needs at most O(V·E) augmenting
+	// iterations; the budget catches fault-induced livelock (faults can
+	// conjure phantom residual capacity indefinitely).
+	budget := 4*n*n*n + 64
+	for iter := 0; ; iter++ {
+		if iter > budget {
+			return flow, false
+		}
+		// BFS over residual capacity.
+		for i := range parent {
+			parent[i] = -1
+		}
+		parent[net.Source] = net.Source
+		queue = append(queue[:0], net.Source)
+		for len(queue) > 0 && parent[net.Sink] == -1 {
+			v := queue[0]
+			queue = queue[1:]
+			for w := 0; w < n; w++ {
+				if parent[w] != -1 {
+					continue
+				}
+				if u.Less(0, residual(u, net, flow, v, w)) {
+					parent[w] = v
+					queue = append(queue, w)
+				}
+			}
+		}
+		if parent[net.Sink] == -1 {
+			return flow, true // no augmenting path: done
+		}
+		// Bottleneck along the path.
+		bottleneck := residual(u, net, flow, parent[net.Sink], net.Sink)
+		for w := net.Sink; w != net.Source; w = parent[w] {
+			bottleneck = u.Min(bottleneck, residual(u, net, flow, parent[w], w))
+		}
+		if !(bottleneck > 0) || !isFinite(bottleneck) {
+			// A fault faked the path; no exact progress is possible.
+			return flow, false
+		}
+		for w := net.Sink; w != net.Source; w = parent[w] {
+			v := parent[w]
+			flow.Set(v, w, u.Add(flow.At(v, w), bottleneck))
+			flow.Set(w, v, u.Sub(flow.At(w, v), bottleneck))
+		}
+	}
+}
+
+func residual(u *fpu.Unit, net *FlowNetwork, flow *linalg.Dense, v, w int) float64 {
+	return u.Sub(net.Cap.At(v, w), flow.At(v, w))
+}
+
+func isFinite(v float64) bool {
+	return v == v && v < 1e308 && v > -1e308
+}
+
+// FlowValue returns the net flow out of the source, computed reliably
+// (metric path).
+func FlowValue(net *FlowNetwork, flow *linalg.Dense) float64 {
+	var total float64
+	for w := 0; w < net.N; w++ {
+		total += flow.At(net.Source, w)
+	}
+	return total
+}
+
+// FlowFeasible reports whether flow respects capacities and conservation to
+// within tol, computed reliably.
+func FlowFeasible(net *FlowNetwork, flow *linalg.Dense, tol float64) bool {
+	n := net.N
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			f := flow.At(i, j)
+			if f > net.Cap.At(i, j)+tol {
+				return false
+			}
+			if f != f { // NaN
+				return false
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		if v == net.Source || v == net.Sink {
+			continue
+		}
+		var net2 float64
+		for w := 0; w < n; w++ {
+			net2 += flow.At(v, w)
+		}
+		if net2 > tol || net2 < -tol {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,94 @@
+package graph
+
+import (
+	"container/heap"
+
+	"robustify/internal/fpu"
+	"robustify/internal/linalg"
+)
+
+// FloydWarshall computes all-pairs shortest path distances on g with the
+// classic O(V³) dynamic program, the paper's baseline APSP implementation.
+// The relax arithmetic (add + min-compare) flows through u.
+func FloydWarshall(u *fpu.Unit, g *DiGraph) *linalg.Dense {
+	n := g.N
+	d := g.Len.Clone()
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			dik := d.At(i, k)
+			if dik >= NoEdge {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				via := u.Add(dik, d.At(k, j))
+				if u.Less(via, d.At(i, j)) {
+					d.Set(i, j, via)
+				}
+			}
+		}
+	}
+	return d
+}
+
+// Dijkstra computes single-source shortest path distances from src with a
+// binary heap. It is the reliable cross-check used in tests and as the
+// ground truth for the APSP experiments (exact arithmetic only).
+func Dijkstra(g *DiGraph, src int) []float64 {
+	n := g.N
+	dist := make([]float64, n)
+	done := make([]bool, n)
+	for i := range dist {
+		dist[i] = NoEdge
+	}
+	dist[src] = 0
+	pq := &distHeap{items: []distItem{{node: src, d: 0}}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(distItem)
+		if done[it.node] {
+			continue
+		}
+		done[it.node] = true
+		for w := 0; w < n; w++ {
+			if !g.HasEdge(it.node, w) {
+				continue
+			}
+			nd := it.d + g.Len.At(it.node, w)
+			if nd < dist[w] {
+				dist[w] = nd
+				heap.Push(pq, distItem{node: w, d: nd})
+			}
+		}
+	}
+	return dist
+}
+
+// AllPairsDijkstra runs Dijkstra from every node, returning the exact
+// distance matrix.
+func AllPairsDijkstra(g *DiGraph) *linalg.Dense {
+	d := linalg.NewDense(g.N, g.N)
+	for s := 0; s < g.N; s++ {
+		copy(d.Row(s), Dijkstra(g, s))
+	}
+	return d
+}
+
+type distItem struct {
+	node int
+	d    float64
+}
+
+type distHeap struct {
+	items []distItem
+}
+
+func (h *distHeap) Len() int           { return len(h.items) }
+func (h *distHeap) Less(i, j int) bool { return h.items[i].d < h.items[j].d }
+func (h *distHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *distHeap) Push(x interface{}) { h.items = append(h.items, x.(distItem)) }
+func (h *distHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}

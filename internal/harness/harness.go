@@ -1,0 +1,270 @@
+// Package harness runs fault-rate sweep experiments — the scaffolding
+// behind every figure of the paper's evaluation — and renders results as
+// aligned text tables or CSV.
+//
+// A Sweep executes independent seeded trials for every (series, fault-rate)
+// cell in parallel, one fpu.Unit per trial, and aggregates per-cell metric
+// values by mean. Seeds are derived deterministically from the sweep seed,
+// so any run is exactly reproducible.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Point is one measured cell: a fault rate (faults per FLOP) and the
+// aggregated metric value.
+type Point struct {
+	Rate  float64
+	Value float64
+}
+
+// Series is a named curve of points, one per fault rate.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Table is a rendered experiment: several series over a shared x-axis.
+type Table struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	Notes  []string
+}
+
+// TrialFunc runs one trial at the given fault rate with the given seed and
+// returns the metric value (e.g. 1/0 for success, or a relative error).
+type TrialFunc func(rate float64, seed uint64) float64
+
+// Sweep describes a fault-rate sweep.
+type Sweep struct {
+	// Rates are the fault rates (faults per FLOP, not percent).
+	Rates []float64
+	// Trials is the number of independent trials per cell.
+	Trials int
+	// Seed derives every trial's seed; same seed, same results.
+	Seed uint64
+	// Workers bounds parallelism (default: GOMAXPROCS).
+	Workers int
+}
+
+// TrialSeed returns the deterministic seed for a cell trial. It is
+// exported so single trials can be replayed outside a sweep.
+func (s Sweep) TrialSeed(rateIdx, trial int) uint64 {
+	z := s.Seed + uint64(rateIdx)*0x9E3779B97F4A7C15 + uint64(trial)*0xBF58476D1CE4E5B9 + 1
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Run executes fn over the full rate×trial grid and returns the mean metric
+// per rate.
+func (s Sweep) Run(fn TrialFunc) []Point {
+	if s.Trials <= 0 {
+		s.Trials = 1
+	}
+	workers := s.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	type job struct{ rateIdx, trial int }
+	jobs := make(chan job)
+	results := make([][]float64, len(s.Rates))
+	for i := range results {
+		results[i] = make([]float64, s.Trials)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				results[j.rateIdx][j.trial] = fn(s.Rates[j.rateIdx], s.TrialSeed(j.rateIdx, j.trial))
+			}
+		}()
+	}
+	for r := range s.Rates {
+		for t := 0; t < s.Trials; t++ {
+			jobs <- job{rateIdx: r, trial: t}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	points := make([]Point, len(s.Rates))
+	for r, rate := range s.Rates {
+		points[r] = Point{Rate: rate, Value: mean(results[r])}
+	}
+	return points
+}
+
+// RunMedian is Run with a median aggregate, preferred for error metrics
+// with occasional catastrophic outliers.
+func (s Sweep) RunMedian(fn TrialFunc) []Point {
+	saved := make([][]float64, len(s.Rates))
+	var mu sync.Mutex
+	s.Run(func(rate float64, seed uint64) float64 {
+		v := fn(rate, seed)
+		idx := 0
+		for i, r := range s.Rates {
+			if r == rate {
+				idx = i
+				break
+			}
+		}
+		mu.Lock()
+		saved[idx] = append(saved[idx], v)
+		mu.Unlock()
+		return v
+	})
+	points := make([]Point, len(s.Rates))
+	for r, rate := range s.Rates {
+		points[r] = Point{Rate: rate, Value: median(saved[r])}
+	}
+	return points
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	n := len(c)
+	if n%2 == 1 {
+		return c[n/2]
+	}
+	return 0.5 * (c[n/2-1] + c[n/2])
+}
+
+// Render writes the table as aligned text: one row per fault rate, one
+// column per series.
+func (t *Table) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+		return err
+	}
+	if t.YLabel != "" {
+		if _, err := fmt.Fprintf(w, "y: %s\n", t.YLabel); err != nil {
+			return err
+		}
+	}
+	header := make([]string, 0, len(t.Series)+1)
+	x := t.XLabel
+	if x == "" {
+		x = "fault rate (%FLOPs)"
+	}
+	header = append(header, x)
+	for _, s := range t.Series {
+		header = append(header, s.Name)
+	}
+	rows := [][]string{header}
+	for i := range t.xValues() {
+		row := make([]string, 0, len(header))
+		row = append(row, formatRate(t.xValues()[i]))
+		for _, s := range t.Series {
+			if i < len(s.Points) {
+				row = append(row, formatValue(s.Points[i].Value))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		rows = append(rows, row)
+	}
+	widths := make([]int, len(header))
+	for _, row := range rows {
+		for c, cell := range row {
+			if len(cell) > widths[c] {
+				widths[c] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		cells := make([]string, len(row))
+		for c, cell := range row {
+			cells[c] = fmt.Sprintf("%*s", widths[c], cell)
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, "  ")); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// CSV writes the table as comma-separated values with a header row.
+func (t *Table) CSV(w io.Writer) error {
+	cols := []string{"rate"}
+	for _, s := range t.Series {
+		cols = append(cols, strings.ReplaceAll(s.Name, ",", ";"))
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	for i, x := range t.xValues() {
+		row := []string{fmt.Sprintf("%g", x)}
+		for _, s := range t.Series {
+			if i < len(s.Points) {
+				row = append(row, fmt.Sprintf("%g", s.Points[i].Value))
+			} else {
+				row = append(row, "")
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// xValues returns the x-axis values from the longest series.
+func (t *Table) xValues() []float64 {
+	var xs []float64
+	for _, s := range t.Series {
+		if len(s.Points) > len(xs) {
+			xs = xs[:0]
+			for _, p := range s.Points {
+				xs = append(xs, p.Rate)
+			}
+		}
+	}
+	return xs
+}
+
+func formatRate(r float64) string {
+	return fmt.Sprintf("%g", r)
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "nan"
+	case v != 0 && (math.Abs(v) < 1e-3 || math.Abs(v) >= 1e5):
+		return fmt.Sprintf("%.3e", v)
+	default:
+		return fmt.Sprintf("%.4g", v)
+	}
+}

@@ -1,0 +1,163 @@
+package harness
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSweepDeterministicSeeds(t *testing.T) {
+	s := Sweep{Rates: []float64{0.1, 0.2}, Trials: 3, Seed: 7}
+	if s.TrialSeed(0, 0) == s.TrialSeed(0, 1) {
+		t.Error("trial seeds collide")
+	}
+	if s.TrialSeed(0, 0) == s.TrialSeed(1, 0) {
+		t.Error("rate seeds collide")
+	}
+	s2 := Sweep{Rates: s.Rates, Trials: 3, Seed: 7}
+	if s.TrialSeed(1, 2) != s2.TrialSeed(1, 2) {
+		t.Error("seeds not reproducible")
+	}
+}
+
+func TestSweepRunAggregatesMean(t *testing.T) {
+	s := Sweep{Rates: []float64{0, 1}, Trials: 4, Seed: 1}
+	var mu sync.Mutex
+	calls := map[float64]int{}
+	pts := s.Run(func(rate float64, seed uint64) float64 {
+		mu.Lock()
+		calls[rate]++
+		n := calls[rate]
+		mu.Unlock()
+		return rate*100 + float64(n%2) // mean = rate*100 + 0.5
+	})
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for i, want := range []float64{0.5, 100.5} {
+		if math.Abs(pts[i].Value-want) > 1e-12 {
+			t.Errorf("point %d = %v, want %v", i, pts[i].Value, want)
+		}
+	}
+	if calls[0] != 4 || calls[1] != 4 {
+		t.Errorf("trials per rate = %v", calls)
+	}
+}
+
+func TestSweepRunMedianRobustToOutliers(t *testing.T) {
+	s := Sweep{Rates: []float64{0}, Trials: 5, Seed: 2}
+	var mu sync.Mutex
+	n := 0
+	pts := s.RunMedian(func(rate float64, seed uint64) float64 {
+		mu.Lock()
+		defer mu.Unlock()
+		n++
+		if n == 1 {
+			return 1e30 // outlier must not dominate
+		}
+		return 1
+	})
+	if pts[0].Value != 1 {
+		t.Errorf("median = %v, want 1", pts[0].Value)
+	}
+}
+
+func TestSweepParallelSafety(t *testing.T) {
+	s := Sweep{Rates: []float64{0, 1, 2, 3}, Trials: 50, Seed: 3, Workers: 8}
+	pts := s.Run(func(rate float64, seed uint64) float64 { return rate })
+	for i, r := range s.Rates {
+		if pts[i].Value != r {
+			t.Errorf("rate %v: value %v", r, pts[i].Value)
+		}
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		Title:  "Fig X",
+		YLabel: "success",
+		Series: []Series{
+			{Name: "Base", Points: []Point{{Rate: 0.01, Value: 1}, {Rate: 0.1, Value: 0.5}}},
+			{Name: "SGD", Points: []Point{{Rate: 0.01, Value: 1}, {Rate: 0.1, Value: 0.9}}},
+		},
+		Notes: []string{"hello"},
+	}
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Fig X", "Base", "SGD", "0.01", "0.9", "note: hello"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := &Table{
+		Series: []Series{
+			{Name: "A,B", Points: []Point{{Rate: 0.5, Value: 2}}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := tab.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "rate,A;B") {
+		t.Errorf("csv header wrong: %s", out)
+	}
+	if !strings.Contains(out, "0.5,2") {
+		t.Errorf("csv row wrong: %s", out)
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	if got := formatValue(math.NaN()); got != "nan" {
+		t.Errorf("NaN = %q", got)
+	}
+	if got := formatValue(1e-9); !strings.Contains(got, "e") {
+		t.Errorf("tiny value should use scientific: %q", got)
+	}
+	if got := formatValue(0.5); got != "0.5" {
+		t.Errorf("0.5 = %q", got)
+	}
+}
+
+func TestTableRaggedSeries(t *testing.T) {
+	tab := &Table{
+		Series: []Series{
+			{Name: "long", Points: []Point{{Rate: 1, Value: 1}, {Rate: 2, Value: 2}}},
+			{Name: "short", Points: []Point{{Rate: 1, Value: 9}}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "-") {
+		t.Error("missing cell placeholder not rendered")
+	}
+	buf.Reset()
+	if err := tab.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSweepZeroTrialsDefaultsToOne(t *testing.T) {
+	s := Sweep{Rates: []float64{0.5}, Seed: 1}
+	n := 0
+	var mu sync.Mutex
+	s.Run(func(rate float64, seed uint64) float64 {
+		mu.Lock()
+		n++
+		mu.Unlock()
+		return 0
+	})
+	if n != 1 {
+		t.Errorf("trials = %d, want 1", n)
+	}
+}

@@ -1,0 +1,80 @@
+package linalg
+
+import "robustify/internal/fpu"
+
+// LowerBand is an n×n lower-banded Toeplitz matrix with constant diagonals,
+// the shape of the A and B matrices in the paper's variational IIR
+// formulation (Eq 4.1/4.2): row t holds coefficients c[0..k] on columns
+// t, t−1, …, t−k.
+type LowerBand struct {
+	N     int
+	Coeff []float64 // Coeff[d] is the value on subdiagonal d (d=0 is main).
+}
+
+// NewLowerBand builds an n×n banded Toeplitz matrix from coefficients.
+func NewLowerBand(n int, coeff []float64) *LowerBand {
+	if n <= 0 || len(coeff) == 0 || len(coeff) > n {
+		panic(ErrShape)
+	}
+	c := make([]float64, len(coeff))
+	copy(c, coeff)
+	return &LowerBand{N: n, Coeff: c}
+}
+
+// At returns the (i, j) element.
+func (b *LowerBand) At(i, j int) float64 {
+	d := i - j
+	if d < 0 || d >= len(b.Coeff) {
+		return 0
+	}
+	return b.Coeff[d]
+}
+
+// Dense expands the band into a dense matrix (for tests and small problems).
+func (b *LowerBand) Dense() *Dense {
+	m := NewDense(b.N, b.N)
+	for i := 0; i < b.N; i++ {
+		for d, c := range b.Coeff {
+			if j := i - d; j >= 0 {
+				m.Set(i, j, c)
+			}
+		}
+	}
+	return m
+}
+
+// MulVec sets dst ← B·x on u. dst must not alias x.
+func (b *LowerBand) MulVec(u *fpu.Unit, x, dst []float64) {
+	if len(x) != b.N || len(dst) != b.N {
+		panic(ErrShape)
+	}
+	for i := 0; i < b.N; i++ {
+		var s float64
+		for d, c := range b.Coeff {
+			j := i - d
+			if j < 0 {
+				break
+			}
+			s = u.Add(s, u.Mul(c, x[j]))
+		}
+		dst[i] = s
+	}
+}
+
+// TMulVec sets dst ← Bᵀ·x on u. dst must not alias x.
+func (b *LowerBand) TMulVec(u *fpu.Unit, x, dst []float64) {
+	if len(x) != b.N || len(dst) != b.N {
+		panic(ErrShape)
+	}
+	for j := 0; j < b.N; j++ {
+		var s float64
+		for d, c := range b.Coeff {
+			i := j + d
+			if i >= b.N {
+				break
+			}
+			s = u.Add(s, u.Mul(c, x[i]))
+		}
+		dst[j] = s
+	}
+}

@@ -1,0 +1,90 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestLowerBandAt(t *testing.T) {
+	b := NewLowerBand(4, []float64{1, 2, 3})
+	want := [][]float64{
+		{1, 0, 0, 0},
+		{2, 1, 0, 0},
+		{3, 2, 1, 0},
+		{0, 3, 2, 1},
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if b.At(i, j) != want[i][j] {
+				t.Errorf("At(%d,%d) = %v, want %v", i, j, b.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestLowerBandDense(t *testing.T) {
+	b := NewLowerBand(5, []float64{1, -0.5})
+	d := b.Dense()
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			if d.At(i, j) != b.At(i, j) {
+				t.Errorf("Dense(%d,%d) = %v, want %v", i, j, d.At(i, j), b.At(i, j))
+			}
+		}
+	}
+}
+
+func TestLowerBandMulVecMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + rng.Intn(20)
+		k := 1 + rng.Intn(n)
+		coeff := randVec(rng, k)
+		b := NewLowerBand(n, coeff)
+		d := b.Dense()
+		x := randVec(rng, n)
+		got := make([]float64, n)
+		b.MulVec(nil, x, got)
+		want := make([]float64, n)
+		d.MulVec(nil, x, want)
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-12 {
+				t.Fatalf("trial %d: MulVec[%d] = %v, want %v", trial, i, got[i], want[i])
+			}
+		}
+		b.TMulVec(nil, x, got)
+		d.T().MulVec(nil, x, want)
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-12 {
+				t.Fatalf("trial %d: TMulVec[%d] = %v, want %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestLowerBandShapePanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"too wide": func() { NewLowerBand(2, []float64{1, 2, 3}) },
+		"empty":    func() { NewLowerBand(2, nil) },
+		"badN":     func() { NewLowerBand(0, []float64{1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: must panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestLowerBandCopiesCoeff(t *testing.T) {
+	coeff := []float64{1, 2}
+	b := NewLowerBand(3, coeff)
+	coeff[0] = 99
+	if b.Coeff[0] != 1 {
+		t.Error("NewLowerBand must copy coefficients")
+	}
+}

@@ -1,0 +1,82 @@
+package linalg
+
+import "robustify/internal/fpu"
+
+// CholFactor holds the lower-triangular Cholesky factor L of a symmetric
+// positive definite matrix M = L·Lᵀ.
+type CholFactor struct {
+	l *Dense
+}
+
+// Cholesky factors the SPD matrix m on u. It returns ErrSingular when a
+// pivot is non-positive (the matrix is not numerically positive definite —
+// under fault injection this happens routinely, which is exactly the
+// fragility the paper's Fig 6.6 baseline exhibits).
+func Cholesky(u *fpu.Unit, m *Dense) (*CholFactor, error) {
+	n := m.Rows
+	if m.Cols != n {
+		return nil, ErrShape
+	}
+	l := NewDense(n, n)
+	for j := 0; j < n; j++ {
+		d := m.At(j, j)
+		for k := 0; k < j; k++ {
+			ljk := l.At(j, k)
+			d = u.Sub(d, u.Mul(ljk, ljk))
+		}
+		if !(d > 0) { // catches d <= 0 and NaN
+			return nil, ErrSingular
+		}
+		ljj := u.Sqrt(d)
+		if !(ljj > 0) {
+			return nil, ErrSingular
+		}
+		l.Set(j, j, ljj)
+		for i := j + 1; i < n; i++ {
+			s := m.At(i, j)
+			for k := 0; k < j; k++ {
+				s = u.Sub(s, u.Mul(l.At(i, k), l.At(j, k)))
+			}
+			l.Set(i, j, u.Div(s, ljj))
+		}
+	}
+	return &CholFactor{l: l}, nil
+}
+
+// L returns the lower-triangular factor.
+func (f *CholFactor) L() *Dense { return f.l.Clone() }
+
+// Solve solves M·x = b on u given M = L·Lᵀ.
+func (f *CholFactor) Solve(u *fpu.Unit, b []float64) ([]float64, error) {
+	n := f.l.Rows
+	if len(b) != n {
+		return nil, ErrShape
+	}
+	// Forward: L·y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for j := 0; j < i; j++ {
+			s = u.Sub(s, u.Mul(f.l.At(i, j), y[j]))
+		}
+		d := f.l.At(i, i)
+		if d == 0 {
+			return nil, ErrSingular
+		}
+		y[i] = u.Div(s, d)
+	}
+	// Backward: Lᵀ·x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for j := i + 1; j < n; j++ {
+			s = u.Sub(s, u.Mul(f.l.At(j, i), x[j]))
+		}
+		d := f.l.At(i, i)
+		if d == 0 {
+			return nil, ErrSingular
+		}
+		x[i] = u.Div(s, d)
+	}
+	return x, nil
+}

@@ -1,0 +1,153 @@
+package linalg
+
+import "robustify/internal/fpu"
+
+// Dense is a row-major dense matrix.
+type Dense struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols
+}
+
+// NewDense returns a zeroed r×c matrix.
+func NewDense(r, c int) *Dense {
+	if r <= 0 || c <= 0 {
+		panic(ErrShape)
+	}
+	return &Dense{Rows: r, Cols: c, Data: make([]float64, r*c)}
+}
+
+// DenseOf builds a matrix from a slice of rows, copying the data.
+func DenseOf(rows [][]float64) *Dense {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		panic(ErrShape)
+	}
+	m := NewDense(len(rows), len(rows[0]))
+	for i, row := range rows {
+		if len(row) != m.Cols {
+			panic(ErrShape)
+		}
+		copy(m.Row(i), row)
+	}
+	return m
+}
+
+// At returns the element at row i, column j.
+func (m *Dense) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set stores v at row i, column j.
+func (m *Dense) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a mutable view of row i.
+func (m *Dense) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Dense) Clone() *Dense {
+	out := NewDense(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// T returns the transpose as a new matrix (no FLOPs).
+func (m *Dense) T() *Dense {
+	out := NewDense(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out.Data[j*out.Cols+i] = v
+		}
+	}
+	return out
+}
+
+// MulVec sets dst ← M·x on u. dst must have length Rows and must not alias x.
+func (m *Dense) MulVec(u *fpu.Unit, x, dst []float64) {
+	if len(x) != m.Cols || len(dst) != m.Rows {
+		panic(ErrShape)
+	}
+	for i := 0; i < m.Rows; i++ {
+		dst[i] = Dot(u, m.Row(i), x)
+	}
+}
+
+// TMulVec sets dst ← Mᵀ·x on u. dst must have length Cols and must not
+// alias x.
+func (m *Dense) TMulVec(u *fpu.Unit, x, dst []float64) {
+	if len(x) != m.Rows || len(dst) != m.Cols {
+		panic(ErrShape)
+	}
+	Fill(dst, 0)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		xi := x[i]
+		for j := range row {
+			dst[j] = u.Add(dst[j], u.Mul(row[j], xi))
+		}
+	}
+}
+
+// Mul returns M·B computed on u.
+func (m *Dense) Mul(u *fpu.Unit, b *Dense) *Dense {
+	if m.Cols != b.Rows {
+		panic(ErrShape)
+	}
+	out := NewDense(m.Rows, b.Cols)
+	for i := 0; i < m.Rows; i++ {
+		mrow := m.Row(i)
+		orow := out.Row(i)
+		for k, mik := range mrow {
+			if mik == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j := range brow {
+				orow[j] = u.Add(orow[j], u.Mul(mik, brow[j]))
+			}
+		}
+	}
+	return out
+}
+
+// Gram returns MᵀM computed on u (the normal-equations matrix).
+func (m *Dense) Gram(u *fpu.Unit) *Dense {
+	out := NewDense(m.Cols, m.Cols)
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		for i, vi := range row {
+			if vi == 0 {
+				continue
+			}
+			orow := out.Row(i)
+			for j, vj := range row {
+				orow[j] = u.Add(orow[j], u.Mul(vi, vj))
+			}
+		}
+	}
+	return out
+}
+
+// MaxAbs returns the largest absolute element (reliable control-path scan).
+func (m *Dense) MaxAbs() float64 {
+	var best float64
+	for _, v := range m.Data {
+		if a := abs(v); a > best {
+			best = a
+		}
+	}
+	return best
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Eye returns the n×n identity matrix.
+func Eye(n int) *Dense {
+	m := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}

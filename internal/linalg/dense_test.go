@@ -1,0 +1,144 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDenseBasics(t *testing.T) {
+	m := DenseOf([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if m.Rows != 3 || m.Cols != 2 {
+		t.Fatalf("shape = %dx%d", m.Rows, m.Cols)
+	}
+	if m.At(1, 0) != 3 {
+		t.Errorf("At(1,0) = %v", m.At(1, 0))
+	}
+	m.Set(1, 0, 9)
+	if m.At(1, 0) != 9 {
+		t.Errorf("Set failed")
+	}
+	row := m.Row(2)
+	if row[0] != 5 || row[1] != 6 {
+		t.Errorf("Row(2) = %v", row)
+	}
+}
+
+func TestDenseClone(t *testing.T) {
+	m := DenseOf([][]float64{{1, 2}, {3, 4}})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Error("Clone must not share storage")
+	}
+}
+
+func TestDenseTranspose(t *testing.T) {
+	m := DenseOf([][]float64{{1, 2, 3}, {4, 5, 6}})
+	mt := m.T()
+	if mt.Rows != 3 || mt.Cols != 2 {
+		t.Fatalf("T shape = %dx%d", mt.Rows, mt.Cols)
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if m.At(i, j) != mt.At(j, i) {
+				t.Errorf("T mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := DenseOf([][]float64{{1, 2}, {3, 4}})
+	dst := make([]float64, 2)
+	m.MulVec(nil, []float64{1, 1}, dst)
+	if dst[0] != 3 || dst[1] != 7 {
+		t.Errorf("MulVec = %v", dst)
+	}
+}
+
+func TestTMulVecMatchesExplicitTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		r, c := 1+rng.Intn(8), 1+rng.Intn(8)
+		m := randMat(rng, r, c)
+		x := randVec(rng, r)
+		got := make([]float64, c)
+		m.TMulVec(nil, x, got)
+		want := make([]float64, c)
+		m.T().MulVec(nil, x, want)
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-12 {
+				t.Fatalf("trial %d: TMulVec[%d] = %v, want %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMatMul(t *testing.T) {
+	a := DenseOf([][]float64{{1, 2}, {3, 4}})
+	b := DenseOf([][]float64{{5, 6}, {7, 8}})
+	c := a.Mul(nil, b)
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := range want {
+		for j := range want[i] {
+			if c.At(i, j) != want[i][j] {
+				t.Errorf("Mul(%d,%d) = %v, want %v", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestGramMatchesTrsposeMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randMat(rng, 7, 4)
+	got := a.Gram(nil)
+	want := a.T().Mul(nil, a)
+	for i := range want.Data {
+		if math.Abs(got.Data[i]-want.Data[i]) > 1e-10 {
+			t.Fatalf("Gram mismatch at %d: %v vs %v", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func TestEye(t *testing.T) {
+	e := Eye(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if e.At(i, j) != want {
+				t.Errorf("Eye(%d,%d) = %v", i, j, e.At(i, j))
+			}
+		}
+	}
+}
+
+func TestMaxAbs(t *testing.T) {
+	m := DenseOf([][]float64{{1, -7}, {3, 4}})
+	if got := m.MaxAbs(); got != 7 {
+		t.Errorf("MaxAbs = %v, want 7", got)
+	}
+}
+
+func TestShapePanics(t *testing.T) {
+	m := NewDense(2, 3)
+	for name, fn := range map[string]func(){
+		"MulVec":   func() { m.MulVec(nil, make([]float64, 2), make([]float64, 2)) },
+		"TMulVec":  func() { m.TMulVec(nil, make([]float64, 3), make([]float64, 3)) },
+		"Mul":      func() { m.Mul(nil, NewDense(2, 2)) },
+		"NewDense": func() { NewDense(0, 1) },
+		"DenseOf":  func() { DenseOf([][]float64{{1, 2}, {3}}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s with bad shape must panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

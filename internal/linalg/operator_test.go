@@ -1,0 +1,41 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPowerEstimateDiagonal(t *testing.T) {
+	// AᵀA of diag(5, 2, 1) has top eigenvalue 25.
+	a := DenseOf([][]float64{{5, 0, 0}, {0, 2, 0}, {0, 0, 1}})
+	if got := PowerEstimate(a, 50); math.Abs(got-25) > 1e-6 {
+		t.Errorf("PowerEstimate = %v, want 25", got)
+	}
+}
+
+func TestPowerEstimateZero(t *testing.T) {
+	if got := PowerEstimate(NewDense(3, 3), 10); got != 0 {
+		t.Errorf("PowerEstimate(0) = %v", got)
+	}
+}
+
+func TestPowerEstimateBand(t *testing.T) {
+	// Identity band: all eigenvalues 1.
+	b := NewLowerBand(5, []float64{1})
+	if got := PowerEstimate(b, 20); math.Abs(got-1) > 1e-9 {
+		t.Errorf("PowerEstimate(I) = %v, want 1", got)
+	}
+}
+
+func TestOperatorDims(t *testing.T) {
+	var op Operator = NewDense(3, 2)
+	r, c := op.Dims()
+	if r != 3 || c != 2 {
+		t.Errorf("Dense dims = %d,%d", r, c)
+	}
+	op = NewLowerBand(4, []float64{1})
+	r, c = op.Dims()
+	if r != 4 || c != 4 {
+		t.Errorf("Band dims = %d,%d", r, c)
+	}
+}

@@ -1,0 +1,184 @@
+package linalg
+
+import (
+	"errors"
+
+	"robustify/internal/fpu"
+)
+
+// ErrSingular is returned when a factorization or solve meets a
+// (numerically) singular matrix.
+var ErrSingular = errors.New("linalg: matrix is singular to working precision")
+
+// QRFactor holds a Householder QR factorization A = Q·R with A m×n, m ≥ n.
+// The factored form stores the Householder vectors below R in-place, as in
+// LAPACK's GEQRF.
+type QRFactor struct {
+	qr   *Dense    // packed R (upper triangle) + Householder vectors
+	beta []float64 // Householder scalars
+}
+
+// QR factors A (m×n, m ≥ n) on u. A is not modified.
+func QR(u *fpu.Unit, a *Dense) (*QRFactor, error) {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		return nil, ErrShape
+	}
+	qr := a.Clone()
+	beta := make([]float64, n)
+	for k := 0; k < n; k++ {
+		// Norm of the k-th column below the diagonal.
+		var sq float64
+		for i := k; i < m; i++ {
+			v := qr.At(i, k)
+			sq = u.Add(sq, u.Mul(v, v))
+		}
+		norm := u.Sqrt(sq)
+		if norm == 0 {
+			return nil, ErrSingular
+		}
+		if qr.At(k, k) < 0 {
+			norm = -norm
+		}
+		// v = x + norm·e1, normalized so v[0] = 1.
+		qkk := u.Add(qr.At(k, k), norm)
+		if qkk == 0 {
+			return nil, ErrSingular
+		}
+		for i := k + 1; i < m; i++ {
+			qr.Set(i, k, u.Div(qr.At(i, k), qkk))
+		}
+		beta[k] = u.Div(qkk, norm)
+		qr.Set(k, k, -norm)
+		// Apply the reflector to the trailing columns.
+		for j := k + 1; j < n; j++ {
+			s := qr.At(k, j)
+			for i := k + 1; i < m; i++ {
+				s = u.Add(s, u.Mul(qr.At(i, k), qr.At(i, j)))
+			}
+			s = u.Mul(s, beta[k])
+			qr.Set(k, j, u.Sub(qr.At(k, j), s))
+			for i := k + 1; i < m; i++ {
+				qr.Set(i, j, u.Sub(qr.At(i, j), u.Mul(s, qr.At(i, k))))
+			}
+		}
+	}
+	return &QRFactor{qr: qr, beta: beta}, nil
+}
+
+// R returns the upper-triangular factor as a dense n×n matrix.
+func (f *QRFactor) R() *Dense {
+	n := f.qr.Cols
+	r := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			r.Set(i, j, f.qr.At(i, j))
+		}
+	}
+	return r
+}
+
+// Q returns the thin orthogonal factor Q (m×n) computed on u.
+func (f *QRFactor) Q(u *fpu.Unit) *Dense {
+	m, n := f.qr.Rows, f.qr.Cols
+	q := NewDense(m, n)
+	for j := 0; j < n; j++ {
+		q.Set(j, j, 1)
+	}
+	// Apply reflectors in reverse order to the identity.
+	for k := n - 1; k >= 0; k-- {
+		for j := 0; j < n; j++ {
+			s := q.At(k, j)
+			for i := k + 1; i < m; i++ {
+				s = u.Add(s, u.Mul(f.qr.At(i, k), q.At(i, j)))
+			}
+			s = u.Mul(s, f.beta[k])
+			q.Set(k, j, u.Sub(q.At(k, j), s))
+			for i := k + 1; i < m; i++ {
+				q.Set(i, j, u.Sub(q.At(i, j), u.Mul(s, f.qr.At(i, k))))
+			}
+		}
+	}
+	return q
+}
+
+// Solve returns the least-squares solution of A·x = b on u
+// (x = R⁻¹·Qᵀ·b).
+func (f *QRFactor) Solve(u *fpu.Unit, b []float64) ([]float64, error) {
+	m, n := f.qr.Rows, f.qr.Cols
+	if len(b) != m {
+		return nil, ErrShape
+	}
+	// y ← Qᵀ·b by applying reflectors forward.
+	y := make([]float64, m)
+	copy(y, b)
+	for k := 0; k < n; k++ {
+		s := y[k]
+		for i := k + 1; i < m; i++ {
+			s = u.Add(s, u.Mul(f.qr.At(i, k), y[i]))
+		}
+		s = u.Mul(s, f.beta[k])
+		y[k] = u.Sub(y[k], s)
+		for i := k + 1; i < m; i++ {
+			y[i] = u.Sub(y[i], u.Mul(s, f.qr.At(i, k)))
+		}
+	}
+	// Back-substitute R·x = y[:n].
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for j := i + 1; j < n; j++ {
+			s = u.Sub(s, u.Mul(f.qr.At(i, j), x[j]))
+		}
+		rii := f.qr.At(i, i)
+		if rii == 0 {
+			return nil, ErrSingular
+		}
+		x[i] = u.Div(s, rii)
+	}
+	return x, nil
+}
+
+// SolveUpper solves the triangular system R·x = y on u, where R is upper
+// triangular n×n and y has length n.
+func SolveUpper(u *fpu.Unit, r *Dense, y []float64) ([]float64, error) {
+	n := r.Cols
+	if r.Rows != n || len(y) != n {
+		return nil, ErrShape
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for j := i + 1; j < n; j++ {
+			s = u.Sub(s, u.Mul(r.At(i, j), x[j]))
+		}
+		d := r.At(i, i)
+		if d == 0 {
+			return nil, ErrSingular
+		}
+		x[i] = u.Div(s, d)
+	}
+	return x, nil
+}
+
+// SolveUpperT solves Rᵀ·x = y on u for upper-triangular R (i.e. a forward
+// substitution on the transpose).
+func SolveUpperT(u *fpu.Unit, r *Dense, y []float64) ([]float64, error) {
+	n := r.Cols
+	if r.Rows != n || len(y) != n {
+		return nil, ErrShape
+	}
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := y[i]
+		for j := 0; j < i; j++ {
+			s = u.Sub(s, u.Mul(r.At(j, i), x[j]))
+		}
+		d := r.At(i, i)
+		if d == 0 {
+			return nil, ErrSingular
+		}
+		x[i] = u.Div(s, d)
+	}
+	return x, nil
+}

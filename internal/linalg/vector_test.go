@@ -1,0 +1,118 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDot(t *testing.T) {
+	got := Dot(nil, []float64{1, 2, 3}, []float64{4, 5, 6})
+	if got != 32 {
+		t.Errorf("Dot = %v, want 32", got)
+	}
+}
+
+func TestDotShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Dot with mismatched lengths must panic")
+		}
+	}()
+	Dot(nil, []float64{1}, []float64{1, 2})
+}
+
+func TestAxpy(t *testing.T) {
+	y := []float64{1, 1, 1}
+	Axpy(nil, 2, []float64{1, 2, 3}, y)
+	want := []float64{3, 5, 7}
+	for i := range y {
+		if y[i] != want[i] {
+			t.Errorf("Axpy[%d] = %v, want %v", i, y[i], want[i])
+		}
+	}
+}
+
+func TestScaleNorm(t *testing.T) {
+	x := []float64{3, 4}
+	if got := Norm2(nil, x); got != 5 {
+		t.Errorf("Norm2 = %v, want 5", got)
+	}
+	if got := SqNorm2(nil, x); got != 25 {
+		t.Errorf("SqNorm2 = %v, want 25", got)
+	}
+	Scale(nil, 2, x)
+	if x[0] != 6 || x[1] != 8 {
+		t.Errorf("Scale = %v", x)
+	}
+}
+
+func TestAddSub(t *testing.T) {
+	a, b := []float64{5, 7}, []float64{2, 3}
+	dst := make([]float64, 2)
+	Sub(nil, a, b, dst)
+	if dst[0] != 3 || dst[1] != 4 {
+		t.Errorf("Sub = %v", dst)
+	}
+	Add(nil, a, b, dst)
+	if dst[0] != 7 || dst[1] != 10 {
+		t.Errorf("Add = %v", dst)
+	}
+}
+
+func TestAllFinite(t *testing.T) {
+	if !AllFinite([]float64{1, -2, 0}) {
+		t.Error("finite slice misreported")
+	}
+	if AllFinite([]float64{1, math.NaN()}) {
+		t.Error("NaN not caught")
+	}
+	if AllFinite([]float64{math.Inf(1)}) {
+		t.Error("Inf not caught")
+	}
+	if !AllFinite(nil) {
+		t.Error("empty slice should be finite")
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	if got := RelErr([]float64{1, 1}, []float64{1, 1}); got != 0 {
+		t.Errorf("RelErr identical = %v", got)
+	}
+	got := RelErr([]float64{2, 0}, []float64{1, 0})
+	if math.Abs(got-1) > 1e-12 {
+		t.Errorf("RelErr = %v, want 1", got)
+	}
+	if got := RelErr([]float64{3, 4}, []float64{0, 0}); got != 5 {
+		t.Errorf("RelErr vs zero = %v, want absolute 5", got)
+	}
+}
+
+func TestDotCommutative(t *testing.T) {
+	f := func(n uint8) bool {
+		rng := rand.New(rand.NewSource(int64(n)))
+		k := int(n%16) + 1
+		a, b := randVec(rng, k), randVec(rng, k)
+		return math.Abs(Dot(nil, a, b)-Dot(nil, b, a)) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func randVec(rng *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+func randMat(rng *rand.Rand, r, c int) *Dense {
+	m := NewDense(r, c)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}

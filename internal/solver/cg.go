@@ -1,0 +1,135 @@
+package solver
+
+import (
+	"errors"
+	"math"
+
+	"robustify/internal/fpu"
+	"robustify/internal/linalg"
+)
+
+// MulFunc computes dst ← M·x for the (symmetric positive definite) system
+// matrix, with every FLOP on the caller's stochastic FPU. dst never aliases
+// x.
+type MulFunc func(x, dst []float64)
+
+// CGOptions configures the conjugate gradient solver.
+type CGOptions struct {
+	// Iters is the number of CG iterations (the paper's Fig 6.6 uses 10).
+	Iters int
+	// RestartEvery resets the search direction to the steepest-descent
+	// direction every so many iterations, limiting how far accumulated
+	// gradient noise can corrupt conjugacy (§3.3). 0 disables restarts.
+	RestartEvery int
+}
+
+// CG solves M·x = b by the conjugate gradient method, tolerating noise in
+// the matrix-vector products and vector recurrences (the data path, on u).
+// Scalar step computation and the iterate update are reliable control
+// steps, per the paper's assumption. x0 is not modified.
+//
+// On a reliable unit CG converges in at most dim(x) iterations for any SPD
+// system.
+func CG(u *fpu.Unit, mul MulFunc, b, x0 []float64, opts CGOptions) (Result, error) {
+	n := len(b)
+	if len(x0) != n {
+		return Result{}, linalg.ErrShape
+	}
+	if opts.Iters <= 0 {
+		return Result{}, errors.New("solver: CG needs a positive iteration count")
+	}
+	if mul == nil {
+		return Result{}, errors.New("solver: CG needs a MulFunc")
+	}
+
+	x := make([]float64, n)
+	copy(x, x0)
+	r := make([]float64, n)
+	p := make([]float64, n)
+	w := make([]float64, n)
+
+	res := Result{Value: math.NaN()}
+	restart := func() bool {
+		// r ← b − M·x on the stochastic unit; p ← r.
+		mul(x, w)
+		linalg.Sub(u, b, w, r)
+		copy(p, r)
+		return linalg.AllFinite(r)
+	}
+	if !restart() {
+		// One retry: the fault stream advances, so a second evaluation
+		// usually comes back clean.
+		if !restart() {
+			res.X = x
+			res.Skipped++
+			return res, nil
+		}
+	}
+	rs := linalg.Dot(u, r, r)
+
+	for k := 1; k <= opts.Iters; k++ {
+		if opts.RestartEvery > 0 && k > 1 && (k-1)%opts.RestartEvery == 0 {
+			if !restart() {
+				res.Skipped++
+				continue
+			}
+			rs = linalg.Dot(u, r, r)
+		}
+		mul(p, w)
+		den := linalg.Dot(u, p, w)
+		res.Iters++
+		// Reliable control: step size and validity checks.
+		if !(den > 0) || !linalg.AllFinite(w) || math.IsNaN(rs) || math.IsInf(rs, 0) {
+			res.Skipped++
+			if !restart() {
+				continue
+			}
+			rs = linalg.Dot(u, r, r)
+			continue
+		}
+		alpha := rs / den
+		if math.IsNaN(alpha) || math.IsInf(alpha, 0) {
+			res.Skipped++
+			continue
+		}
+		// Reliable iterate update.
+		for i := range x {
+			x[i] += alpha * p[i]
+		}
+		// Residual and direction recurrences are data-path vector math.
+		linalg.Axpy(u, -alpha, w, r)
+		rsNew := linalg.Dot(u, r, r)
+		if !linalg.AllFinite(r) || math.IsNaN(rsNew) || math.IsInf(rsNew, 0) || rsNew < 0 {
+			res.Skipped++
+			if restart() {
+				rs = linalg.Dot(u, r, r)
+			}
+			continue
+		}
+		beta := rsNew / rs
+		for i := range p {
+			p[i] = u.Add(r[i], u.Mul(beta, p[i]))
+		}
+		if !linalg.AllFinite(p) {
+			res.Skipped++
+			if !restart() {
+				continue
+			}
+			rsNew = linalg.Dot(u, r, r)
+		}
+		rs = rsNew
+	}
+	res.X = x
+	return res, nil
+}
+
+// NormalEquationsMul returns a MulFunc computing (AᵀA)·x on u without
+// forming AᵀA, the operator CG needs to solve the least squares problem
+// min ‖Ax−b‖².
+func NormalEquationsMul(u *fpu.Unit, a *linalg.Dense) MulFunc {
+	tmp := make([]float64, a.Rows)
+	return func(x, dst []float64) {
+		a.MulVec(u, x, tmp)
+		a.TMulVec(u, tmp, dst)
+	}
+}

@@ -1,0 +1,138 @@
+package solver
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"robustify/internal/fpu"
+	"robustify/internal/linalg"
+)
+
+func randSPDSystem(rng *rand.Rand, m, n int) (*linalg.Dense, []float64, []float64) {
+	a := linalg.NewDense(m, n)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	xTrue := make([]float64, n)
+	for i := range xTrue {
+		xTrue[i] = rng.NormFloat64()
+	}
+	b := make([]float64, m)
+	a.MulVec(nil, xTrue, b)
+	return a, xTrue, b
+}
+
+// TestCGExactInNIterations: on a reliable unit, CG solves an SPD n×n system
+// in at most n iterations (§3.3).
+func TestCGExactInNIterations(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(8)
+		a, xTrue, b := randSPDSystem(rng, n+5, n)
+		mul := NormalEquationsMul(nil, a)
+		atb := make([]float64, n)
+		a.TMulVec(nil, b, atb)
+		res, err := CG(nil, mul, atb, make([]float64, n), CGOptions{Iters: n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if re := linalg.RelErr(res.X, xTrue); re > 1e-6 {
+			t.Fatalf("trial %d: CG after n=%d iters rel err %v", trial, n, re)
+		}
+	}
+}
+
+func TestCGOptionValidation(t *testing.T) {
+	if _, err := CG(nil, nil, []float64{1}, []float64{0}, CGOptions{Iters: 1}); err == nil {
+		t.Error("nil MulFunc accepted")
+	}
+	mul := func(x, dst []float64) { copy(dst, x) }
+	if _, err := CG(nil, mul, []float64{1}, []float64{0}, CGOptions{Iters: 0}); err == nil {
+		t.Error("zero iterations accepted")
+	}
+	if _, err := CG(nil, mul, []float64{1}, []float64{0, 0}, CGOptions{Iters: 1}); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+}
+
+func TestCGDoesNotModifyInputs(t *testing.T) {
+	mul := func(x, dst []float64) { copy(dst, x) } // identity system
+	b := []float64{1, 2}
+	x0 := []float64{0, 0}
+	res, err := CG(nil, mul, b, x0, CGOptions{Iters: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x0[0] != 0 || x0[1] != 0 {
+		t.Error("CG mutated x0")
+	}
+	if re := linalg.RelErr(res.X, b); re > 1e-12 {
+		t.Errorf("identity solve rel err %v", re)
+	}
+}
+
+// TestCGTolerantWithRestarts: with faults in the matvec, restarted CG keeps
+// the solution finite and close; without enough iterations it degrades
+// gracefully rather than diverging.
+func TestCGTolerantWithRestarts(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	a, xTrue, b := randSPDSystem(rng, 40, 8)
+	ok := 0
+	const trials = 10
+	for trial := 0; trial < trials; trial++ {
+		inj := fpu.NewInjector(1e-3, uint64(trial+1), fpu.WithDistribution(fpu.LowOrderDistribution()))
+		u := fpu.New(fpu.WithInjector(inj))
+		mul := NormalEquationsMul(u, a)
+		atb := make([]float64, 8)
+		a.TMulVec(u, b, atb)
+		res, err := CG(u, mul, atb, make([]float64, 8), CGOptions{Iters: 24, RestartEvery: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !linalg.AllFinite(res.X) {
+			t.Fatal("CG produced non-finite solution under faults")
+		}
+		if linalg.RelErr(res.X, xTrue) < 1e-2 {
+			ok++
+		}
+	}
+	if ok < trials/2 {
+		t.Errorf("restarted CG under benign faults succeeded only %d/%d times", ok, trials)
+	}
+}
+
+// TestCGSurvivesViolentFaults: the emulated MSB-heavy fault distribution at
+// a high rate must not crash or yield NaN thanks to the reliable guards.
+func TestCGSurvivesViolentFaults(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	a, _, b := randSPDSystem(rng, 30, 6)
+	for trial := 0; trial < 10; trial++ {
+		u := fpu.New(fpu.WithFaultRate(0.2, uint64(trial+100)))
+		mul := NormalEquationsMul(u, a)
+		atb := make([]float64, 6)
+		a.TMulVec(u, b, atb)
+		res, err := CG(u, mul, atb, make([]float64, 6), CGOptions{Iters: 12, RestartEvery: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !linalg.AllFinite(res.X) {
+			t.Fatal("CG emitted non-finite values under violent faults")
+		}
+	}
+}
+
+func TestNormalEquationsMul(t *testing.T) {
+	a := linalg.DenseOf([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	mul := NormalEquationsMul(nil, a)
+	x := []float64{1, 1}
+	got := make([]float64, 2)
+	mul(x, got)
+	want := make([]float64, 2)
+	a.Gram(nil).MulVec(nil, x, want)
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("NormalEquationsMul[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,302 @@
+package solver
+
+import (
+	"math"
+	"testing"
+
+	"robustify/internal/core"
+	"robustify/internal/fpu"
+	"robustify/internal/linalg"
+)
+
+// quadratic is a strongly convex test problem f(x) = ½‖x − target‖² with
+// gradients evaluated on a configurable unit.
+type quadratic struct {
+	u      *fpu.Unit
+	target []float64
+	mu     float64
+}
+
+func (q *quadratic) Dim() int { return len(q.target) }
+
+func (q *quadratic) Grad(x, grad []float64) {
+	for i := range x {
+		grad[i] = q.u.Sub(x[i], q.target[i])
+	}
+}
+
+func (q *quadratic) Value(x []float64) float64 {
+	var s float64
+	for i := range x {
+		d := x[i] - q.target[i]
+		s += 0.5 * d * d
+	}
+	return s
+}
+
+func (q *quadratic) PenaltyWeight() float64     { return q.mu }
+func (q *quadratic) SetPenaltyWeight(m float64) { q.mu = m }
+
+func TestScheduleShapes(t *testing.T) {
+	lin, sq, c := Linear(1), Sqrt(1), Constant(0.3)
+	if lin(1) != 1 || lin(4) != 0.25 {
+		t.Error("Linear schedule wrong")
+	}
+	if sq(1) != 1 || math.Abs(sq(4)-0.5) > 1e-12 {
+		t.Error("Sqrt schedule wrong")
+	}
+	if c(1) != 0.3 || c(1000) != 0.3 {
+		t.Error("Constant schedule wrong")
+	}
+	// SQS decays slower than LS.
+	for _, it := range []int{2, 10, 100} {
+		if !(sq(it) > lin(it)) {
+			t.Errorf("Sqrt(%d)=%v should exceed Linear(%d)=%v", it, sq(it), it, lin(it))
+		}
+	}
+}
+
+func TestSGDConvergesReliable(t *testing.T) {
+	q := &quadratic{u: nil, target: []float64{1, -2, 3}}
+	res, err := SGD(q, []float64{0, 0, 0}, Options{
+		Iters:    200,
+		Schedule: Constant(0.5),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re := linalg.RelErr(res.X, q.target); re > 1e-6 {
+		t.Errorf("SGD missed the optimum: rel err %v", re)
+	}
+	if res.Iters != 200 {
+		t.Errorf("Iters = %d", res.Iters)
+	}
+}
+
+func TestSGDConvergesUnderFaults(t *testing.T) {
+	// Low-order faults are near-unbiased noise: Theorem 1 says SGD still
+	// converges. Use the benign distribution to test the theorem's regime.
+	inj := fpu.NewInjector(0.2, 11, fpu.WithDistribution(fpu.LowOrderDistribution()))
+	u := fpu.New(fpu.WithInjector(inj))
+	q := &quadratic{u: u, target: []float64{2, -1}}
+	res, err := SGD(q, []float64{0, 0}, Options{Iters: 3000, Schedule: Linear(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re := linalg.RelErr(res.X, q.target); re > 1e-2 {
+		t.Errorf("SGD under benign faults: rel err %v", re)
+	}
+}
+
+func TestSGDGuardSkipsNonFinite(t *testing.T) {
+	// Rate-1 faults on the violent emulated distribution will produce huge
+	// and occasionally non-finite gradients; the guard must keep x finite.
+	u := fpu.New(fpu.WithFaultRate(1, 13))
+	q := &quadratic{u: u, target: []float64{1}}
+	res, err := SGD(q, []float64{0}, Options{Iters: 500, Schedule: Linear(0.1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !linalg.AllFinite(res.X) {
+		t.Fatal("guarded SGD produced a non-finite iterate")
+	}
+}
+
+func TestSGDOptionValidation(t *testing.T) {
+	q := &quadratic{target: []float64{0}}
+	cases := map[string]Options{
+		"no schedule":  {Iters: 1},
+		"neg iters":    {Iters: -1, Schedule: Constant(1)},
+		"bad momentum": {Iters: 1, Schedule: Constant(1), Momentum: 2},
+		"bad anneal":   {Iters: 1, Schedule: Constant(1), Anneal: &Anneal{Factor: 1, Every: 1}},
+		"bad aggressive": {Iters: 1, Schedule: Constant(1),
+			Aggressive: &Aggressive{SuccessFactor: 0.5, FailFactor: 0.5}},
+	}
+	for name, o := range cases {
+		if _, err := SGD(q, []float64{0}, o); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+	if _, err := SGD(q, []float64{0, 0}, Options{Iters: 1, Schedule: Constant(1)}); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+func TestSGDDoesNotModifyX0(t *testing.T) {
+	q := &quadratic{target: []float64{5}}
+	x0 := []float64{0}
+	if _, err := SGD(q, x0, Options{Iters: 50, Schedule: Constant(0.5)}); err != nil {
+		t.Fatal(err)
+	}
+	if x0[0] != 0 {
+		t.Error("SGD mutated the initial iterate")
+	}
+}
+
+func TestMomentumSmoothsDirection(t *testing.T) {
+	dir := []float64{0, 0}
+	mixDirection(dir, []float64{2, 4}, 0.5)
+	if dir[0] != 1 || dir[1] != 2 {
+		t.Errorf("first mix = %v", dir)
+	}
+	mixDirection(dir, []float64{0, 0}, 0.5)
+	if dir[0] != 0.5 || dir[1] != 1 {
+		t.Errorf("second mix = %v", dir)
+	}
+	// Momentum 0 and 1 both mean "just the gradient".
+	mixDirection(dir, []float64{7, 7}, 0)
+	if dir[0] != 7 {
+		t.Errorf("momentum 0 mix = %v", dir)
+	}
+	mixDirection(dir, []float64{3, 3}, 1)
+	if dir[0] != 3 {
+		t.Errorf("momentum 1 mix = %v", dir)
+	}
+}
+
+func TestAnnealRaisesPenalty(t *testing.T) {
+	q := &quadratic{target: []float64{0}, mu: 1}
+	_, err := SGD(q, []float64{1}, Options{
+		Iters:    100,
+		Schedule: Constant(0.1),
+		Anneal:   &Anneal{Factor: 2, Every: 10, Max: 16},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.mu != 16 {
+		t.Errorf("mu = %v, want annealed to cap 16", q.mu)
+	}
+}
+
+func TestAggressiveConverges(t *testing.T) {
+	q := &quadratic{target: []float64{3, 3}}
+	res, err := SGD(q, []float64{0, 0}, Options{
+		Iters:      10,
+		Schedule:   Constant(0.1),
+		Aggressive: &Aggressive{SuccessFactor: 1.3, FailFactor: 0.5, Tol: 1e-12, MaxIters: 2000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re := linalg.RelErr(res.X, q.target); re > 1e-4 {
+		t.Errorf("aggressive phase missed optimum: rel err %v", re)
+	}
+	if math.IsNaN(res.Value) {
+		t.Error("aggressive phase must record a final value")
+	}
+	if !res.Converged {
+		t.Error("aggressive phase should report convergence at tol 1e-12")
+	}
+}
+
+func TestCallbackObservesIterates(t *testing.T) {
+	q := &quadratic{target: []float64{1}}
+	var calls int
+	_, err := SGD(q, []float64{0}, Options{
+		Iters:    25,
+		Schedule: Constant(0.5),
+		Callback: func(iter int, x []float64) { calls++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 25 {
+		t.Errorf("callback calls = %d, want 25", calls)
+	}
+}
+
+// TestSGDOnPenaltyLP wires the solver to the core penalty machinery: a tiny
+// LP min −x0−x1 s.t. 0 ≤ x ≤ 1 whose solution is the corner (1, 1).
+func TestSGDOnPenaltyLP(t *testing.T) {
+	n := 2
+	ineq := linalg.NewDense(2*n, n)
+	b := make([]float64, 2*n)
+	for i := 0; i < n; i++ {
+		ineq.Set(i, i, 1)
+		b[i] = 1
+		ineq.Set(n+i, i, -1)
+		b[n+i] = 0
+	}
+	lp := core.LinearProgram{C: []float64{-1, -1}, Ineq: ineq, BIneq: b}
+	p, err := core.NewPenaltyLP(nil, lp, core.PenaltyQuad, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SGD(p, []float64{0.5, 0.5}, Options{Iters: 4000, Schedule: Sqrt(0.05)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re := linalg.RelErr(res.X, []float64{1, 1}); re > 0.05 {
+		t.Errorf("LP corner missed: x = %v (rel err %v)", res.X, re)
+	}
+}
+
+func TestGuardThresholdSkipsHugeGradients(t *testing.T) {
+	// A problem whose gradient is astronomically large but finite on every
+	// odd call: without the magnitude guard the iterate is destroyed, with
+	// it the solve converges on the clean calls.
+	q := &spiky{target: 2}
+	res, err := SGD(q, []float64{0}, Options{
+		Iters:          400,
+		Schedule:       Constant(0.2),
+		GuardThreshold: 1e6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Skipped == 0 {
+		t.Error("guard never fired")
+	}
+	if e := res.X[0] - 2; e > 0.01 || e < -0.01 {
+		t.Errorf("x = %v, want 2", res.X[0])
+	}
+	// Without the threshold, the huge steps dominate.
+	res2, err := SGD(q, []float64{0}, Options{Iters: 400, Schedule: Constant(0.2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := res2.X[0] - 2; e < 1e3 && e > -1e3 {
+		t.Errorf("unguarded solve should be destroyed, got x = %v", res2.X[0])
+	}
+}
+
+// spiky alternates between a clean gradient toward target and a huge
+// finite spike, emulating exponent-bit corruption.
+type spiky struct {
+	target float64
+	calls  int
+}
+
+func (s *spiky) Dim() int { return 1 }
+
+func (s *spiky) Grad(x, grad []float64) {
+	s.calls++
+	if s.calls%2 == 1 {
+		grad[0] = x[0] - s.target
+		return
+	}
+	grad[0] = 1e150
+}
+
+func (s *spiky) Value(x []float64) float64 {
+	d := x[0] - s.target
+	return 0.5 * d * d
+}
+
+func TestTailAverageSmoothsIterate(t *testing.T) {
+	// On a noisy quadratic, the tail average must not be worse than the
+	// raw final iterate on average (run a few seeds).
+	inj := fpu.NewInjector(0.3, 5, fpu.WithDistribution(fpu.LowOrderDistribution()))
+	u := fpu.New(fpu.WithInjector(inj))
+	q := &quadratic{u: u, target: []float64{1, 2, 3}}
+	resAvg, err := SGD(q, []float64{0, 0, 0}, Options{
+		Iters: 2000, Schedule: Sqrt(0.5), TailAverage: 500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re := linalg.RelErr(resAvg.X, q.target); re > 0.05 {
+		t.Errorf("tail-averaged solve rel err %v", re)
+	}
+}

@@ -1,0 +1,121 @@
+package robustify_test
+
+import (
+	"math"
+	"testing"
+
+	"robustify"
+)
+
+// TestPublicAPIQuickstart exercises the facade end to end: build a tiny
+// least squares problem, solve it robustly on a faulty FPU, and verify the
+// answer — the quickstart example as a test.
+func TestPublicAPIQuickstart(t *testing.T) {
+	a := robustify.MatrixOf([][]float64{
+		{1, 0}, {0, 1}, {1, 1}, {1, -1},
+	})
+	xTrue := []float64{2, -3}
+	b := make([]float64, 4)
+	a.MulVec(nil, xTrue, b)
+
+	u := robustify.NewFPU(robustify.WithFaultRate(0.005, 9))
+	p, err := robustify.NewLeastSquares(u, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := robustify.SGD(p, make([]float64, 2), robustify.SolveOptions{
+		Iters:      2000,
+		Schedule:   robustify.Linear(8 / p.Lipschitz()),
+		Aggressive: robustify.DefaultAggressive(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xTrue {
+		if math.Abs(res.X[i]-xTrue[i]) > 0.05 {
+			t.Errorf("x[%d] = %v, want %v", i, res.X[i], xTrue[i])
+		}
+	}
+}
+
+func TestPublicAPISort(t *testing.T) {
+	data := []float64{7.5, 2.5, 10, 5, 12.5}
+	u := robustify.NewFPU(robustify.WithFaultRate(0.05, 3))
+	out, _, err := robustify.RobustSort(u, data, robustify.SortOptions{Iters: 6000, Tail: 1200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !robustify.SortSucceeded(out, data) {
+		t.Errorf("robust sort failed: %v", out)
+	}
+	if robustify.SortSucceeded([]float64{3, 1, 2}, []float64{1, 2, 3}) {
+		t.Error("misordered output accepted")
+	}
+}
+
+func TestPublicAPIFPUAccounting(t *testing.T) {
+	u := robustify.NewFPU()
+	u.Add(1, 2)
+	u.Mul(2, 2)
+	if u.FLOPs() != 2 {
+		t.Errorf("FLOPs = %d", u.FLOPs())
+	}
+	if !u.Reliable() {
+		t.Error("default FPU should be reliable")
+	}
+	faulty := robustify.NewFPU(robustify.WithFaultRate(1, 1))
+	if faulty.Reliable() {
+		t.Error("rate-1 FPU should not be reliable")
+	}
+}
+
+func TestPublicAPIVoltageModel(t *testing.T) {
+	m := robustify.DefaultVoltageModel()
+	if m.ErrorRate(m.Nominal) != 0 {
+		t.Error("nominal voltage must be error-free")
+	}
+	if m.ErrorRate(0.7) <= 0 {
+		t.Error("overscaled voltage must produce errors")
+	}
+}
+
+func TestPublicAPIFilter(t *testing.T) {
+	f, err := robustify.LowpassFilter(6, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	signal := make([]float64, 80)
+	for i := range signal {
+		signal[i] = math.Sin(float64(i) / 5)
+	}
+	ideal := f.Ideal(signal)
+	y, _, err := f.Robust(nil, signal, robustify.FilterOptions{Iters: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range y {
+		if math.Abs(y[i]-ideal[i]) > 1e-6 {
+			t.Fatalf("robust output diverges from ideal at %d", i)
+		}
+	}
+}
+
+func TestPublicAPIPenaltyLP(t *testing.T) {
+	// min -x s.t. x <= 3, -x <= 0 → x* = 3.
+	ineq := robustify.MatrixOf([][]float64{{1}, {-1}})
+	lp := robustify.LinearProgram{C: []float64{-1}, Ineq: ineq, BIneq: []float64{3, 0}}
+	p, err := robustify.NewPenaltyLP(nil, lp, robustify.PenaltyQuad, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := robustify.SGD(p, []float64{0}, robustify.SolveOptions{
+		Iters:    4000,
+		Schedule: robustify.Sqrt(0.1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-3) > 0.05 {
+		t.Errorf("LP solution = %v, want 3", res.X[0])
+	}
+}
