@@ -30,14 +30,14 @@ func TestRunBadFlag(t *testing.T) {
 }
 
 func TestPickDistDefaults(t *testing.T) {
-	if pickDist("emulated").Name() != "emulated" {
-		t.Error("emulated")
-	}
-	if pickDist("weird-name").Name() != "emulated" {
-		t.Error("fallback should be emulated")
-	}
-	if pickDist("measured").Name() != "measured" {
-		t.Error("measured")
+	for _, tc := range []struct{ in, want string }{
+		{"emulated", "emulated"},
+		{"weird-name", "emulated"}, // fallback
+		{"measured", "measured"},
+	} {
+		if d := pickDist(tc.in); d.Name() != tc.want {
+			t.Errorf("pickDist(%q).Name() = %q, want %q", tc.in, d.Name(), tc.want)
+		}
 	}
 }
 

@@ -10,13 +10,21 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
+	"os"
 
 	"robustify/internal/apps/leastsq"
 )
 
 func main() {
+	run(os.Stdout, false)
+}
+
+// run executes the example, writing the report to w. quick shrinks the
+// sweep for smoke tests.
+func run(w io.Writer, quick bool) {
 	rng := rand.New(rand.NewSource(67))
 	inst, err := leastsq.Random(rng, 100, 10, 0)
 	if err != nil {
@@ -25,9 +33,13 @@ func main() {
 	o := leastsq.DefaultEnergyOptions()
 	o.Trials = 9
 	targets := []float64{1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1}
+	if quick {
+		o.Trials = 3
+		targets = []float64{1e-4, 1e-2}
+	}
 	pts := inst.EnergySweep(targets, o)
 
-	fmt.Printf("%-10s  %-14s  %-22s\n", "target", "Base:Cholesky", "CG (voltage, iters)")
+	fmt.Fprintf(w, "%-10s  %-14s  %-22s\n", "target", "Base:Cholesky", "CG (voltage, iters)")
 	for _, p := range pts {
 		cg := "infeasible"
 		if p.Feasible {
@@ -37,8 +49,8 @@ func main() {
 		if !math.IsInf(p.BaselineEnergy, 1) {
 			base = fmt.Sprintf("%8.0f", p.BaselineEnergy)
 		}
-		fmt.Printf("%-10.0e  %-14s  %-22s\n", p.Target, base, cg)
+		fmt.Fprintf(w, "%-10.0e  %-14s  %-22s\n", p.Target, base, cg)
 	}
-	fmt.Println("\nenergy unit: one FLOP at nominal voltage; the FPU is single precision,")
-	fmt.Println("so targets below ~1e-7 are unreachable for the iterative solver.")
+	fmt.Fprintln(w, "\nenergy unit: one FLOP at nominal voltage; the FPU is single precision,")
+	fmt.Fprintln(w, "so targets below ~1e-7 are unreachable for the iterative solver.")
 }

@@ -8,14 +8,29 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
+	"os"
 
 	"robustify"
 	"robustify/internal/apps/iir"
 )
 
 func main() {
+	run(os.Stdout, false)
+}
+
+// run executes the example, writing the report to w. quick shrinks the
+// sweep for smoke tests.
+func run(w io.Writer, quick bool) {
+	rates := []float64{1e-4, 1e-3, 1e-2}
+	samples, trials, iters := 500, 9, 1000
+	if quick {
+		rates = []float64{1e-3}
+		samples, trials, iters = 120, 3, 200
+	}
+
 	filter, err := robustify.LowpassFilter(10, 0.5)
 	if err != nil {
 		panic(err)
@@ -23,22 +38,22 @@ func main() {
 
 	// A noisy sine as the input signal (500 samples, as in the paper).
 	rng := rand.New(rand.NewSource(3))
-	signal := make([]float64, 500)
+	signal := make([]float64, samples)
 	for i := range signal {
 		signal[i] = math.Sin(2*math.Pi*float64(i)/23) + 0.3*rng.NormFloat64()
 	}
 	ideal := filter.Ideal(signal)
 
-	fmt.Println("rate      feed-forward ESR   robust ESR   (median of 9 runs)")
-	for _, rate := range []float64{1e-4, 1e-3, 1e-2} {
+	fmt.Fprintf(w, "rate      feed-forward ESR   robust ESR   (median of %d runs)\n", trials)
+	for _, rate := range rates {
 		var base, robust []float64
-		for trial := 0; trial < 9; trial++ {
+		for trial := 0; trial < trials; trial++ {
 			bu := robustify.NewFPU(robustify.WithFaultRate(rate, uint64(trial+1)))
 			base = append(base, iir.ErrorToSignal(filter.Feedforward(bu, signal), ideal))
 
 			ru := robustify.NewFPU(robustify.WithFaultRate(rate, uint64(trial+101)))
 			y, _, err := filter.Robust(ru, signal, robustify.FilterOptions{
-				Iters:    1000,
+				Iters:    iters,
 				Schedule: filter.SqrtSchedule(len(signal), 4), // SQS: the paper's best IIR setting
 			})
 			if err != nil {
@@ -46,7 +61,7 @@ func main() {
 			}
 			robust = append(robust, iir.ErrorToSignal(y, ideal))
 		}
-		fmt.Printf("%-8g  %-18.3g %-12.3g\n", rate, median(base), median(robust))
+		fmt.Fprintf(w, "%-8g  %-18.3g %-12.3g\n", rate, median(base), median(robust))
 	}
 }
 

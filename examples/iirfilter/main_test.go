@@ -1,0 +1,15 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestIIRFilterSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	run(&buf, true)
+	if !strings.Contains(buf.String(), "feed-forward ESR") {
+		t.Fatalf("unexpected output:\n%s", buf.String())
+	}
+}

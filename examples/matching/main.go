@@ -8,43 +8,57 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
+	"os"
 
 	"robustify"
 	"robustify/internal/apps/matching"
 )
 
 func main() {
+	run(os.Stdout, false)
+}
+
+// run executes the example, writing the report to w. quick shrinks the
+// sweep for smoke tests.
+func run(w io.Writer, quick bool) {
+	rates := []float64{0, 0.05, 0.2, 0.5}
+	trials, iters := 10, 10000
+	if quick {
+		rates = []float64{0, 0.2}
+		trials, iters = 3, 1500
+	}
+
 	rng := rand.New(rand.NewSource(100))
 	inst := matching.RandomInstance(rng, 5, 6, 30) // 11 nodes, 30 edges
-	fmt.Printf("instance: 5x6 bipartite, 30 edges, optimal weight %.3f\n\n", inst.OptimalWeight)
+	fmt.Fprintf(w, "instance: 5x6 bipartite, 30 edges, optimal weight %.3f\n\n", inst.OptimalWeight)
 
-	rates := []float64{0, 0.05, 0.2, 0.5}
-	fmt.Printf("%-12s", "variant")
+	fmt.Fprintf(w, "%-12s", "variant")
 	for _, r := range rates {
-		fmt.Printf("  %4.0f%%", r*100)
+		fmt.Fprintf(w, "  %4.0f%%", r*100)
 	}
-	fmt.Println("   (success over 10 runs)")
+	fmt.Fprintf(w, "   (success over %d runs)\n", trials)
 
 	show := func(name string, run func(u *robustify.FPU) bool) {
-		fmt.Printf("%-12s", name)
+		fmt.Fprintf(w, "%-12s", name)
 		for _, rate := range rates {
 			ok := 0
-			for trial := 0; trial < 10; trial++ {
+			for trial := 0; trial < trials; trial++ {
 				u := robustify.NewFPU(robustify.WithFaultRate(rate, uint64(trial)*31+7))
 				if run(u) {
 					ok++
 				}
 			}
-			fmt.Printf("  %4d", ok*10)
+			fmt.Fprintf(w, "  %4.0f", 100*float64(ok)/float64(trials))
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
 
 	show("Hungarian", func(u *robustify.FPU) bool {
 		return inst.Success(inst.Baseline(u))
 	})
-	for _, v := range matching.Variants(10000, 6) {
+	for _, v := range matching.Variants(iters, 6) {
 		opts := v.Opts
 		show(v.Name, func(u *robustify.FPU) bool {
 			assign, _, err := inst.Robust(u, opts)

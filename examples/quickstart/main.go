@@ -8,12 +8,25 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
+	"os"
 
 	"robustify"
 )
 
 func main() {
+	run(os.Stdout, false)
+}
+
+// run executes the example, writing the report to w. quick shrinks the
+// sweep for smoke tests.
+func run(w io.Writer, quick bool) {
+	seeds, iters := uint64(5), 1000
+	if quick {
+		seeds, iters = 2, 200
+	}
+
 	// Build a random overdetermined system A·x* = b (100 equations, 10
 	// unknowns — the paper's Fig 6.2 size).
 	rng := rand.New(rand.NewSource(42))
@@ -36,8 +49,8 @@ func main() {
 	// A stochastic FPU: 1% of floating point results get one bit flipped.
 	const faultRate = 0.01
 
-	fmt.Println("seed   Cholesky rel.err   robustified-SGD rel.err")
-	for seed := uint64(1); seed <= 5; seed++ {
+	fmt.Fprintln(w, "seed   Cholesky rel.err   robustified-SGD rel.err")
+	for seed := uint64(1); seed <= seeds; seed++ {
 		// Conventional baseline: Cholesky factorization, every FLOP on
 		// the faulty unit.
 		baseUnit := robustify.NewFPU(robustify.WithFaultRate(faultRate, seed))
@@ -52,14 +65,14 @@ func main() {
 			panic(err)
 		}
 		res, err := robustify.SGD(p, make([]float64, 10), robustify.SolveOptions{
-			Iters:       1000,
+			Iters:       iters,
 			Schedule:    robustify.Linear(8 / p.Lipschitz()),
-			TailAverage: 100,
+			TailAverage: iters / 10,
 			Aggressive:  robustify.DefaultAggressive(),
 		})
 		if err != nil {
 			panic(err)
 		}
-		fmt.Printf("%4d   %-18.3g %-.3g\n", seed, inst.RelErr(xBase), inst.RelErr(res.X))
+		fmt.Fprintf(w, "%4d   %-18.3g %-.3g\n", seed, inst.RelErr(xBase), inst.RelErr(res.X))
 	}
 }

@@ -9,32 +9,47 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
+	"os"
 
 	"robustify"
 	"robustify/internal/apps/apsp"
 )
 
 func main() {
+	run(os.Stdout, false)
+}
+
+// run executes the example, writing the report to w. quick shrinks the
+// sweep for smoke tests.
+func run(w io.Writer, quick bool) {
+	rates := []float64{0.001, 0.01, 0.05}
+	trials, iters, tail := 7, 20000, 4000
+	if quick {
+		rates = []float64{0.01}
+		trials, iters, tail = 3, 3000, 600
+	}
+
 	rng := rand.New(rand.NewSource(11))
 	inst := apsp.RandomInstance(rng, 6, 8, 5)
-	fmt.Printf("graph: %d nodes, strongly connected, lengths in [1, 5)\n\n", inst.G.N)
+	fmt.Fprintf(w, "graph: %d nodes, strongly connected, lengths in [1, 5)\n\n", inst.G.N)
 
-	fmt.Println("rate      Floyd-Warshall err   robust-LP err   (mean rel. distance error, median of 7 runs)")
-	for _, rate := range []float64{0.001, 0.01, 0.05} {
+	fmt.Fprintf(w, "rate      Floyd-Warshall err   robust-LP err   (mean rel. distance error, median of %d runs)\n", trials)
+	for _, rate := range rates {
 		var base, robust []float64
-		for trial := 0; trial < 7; trial++ {
+		for trial := 0; trial < trials; trial++ {
 			bu := robustify.NewFPU(robustify.WithFaultRate(rate, uint64(trial+1)))
 			base = append(base, inst.MeanRelErr(inst.Baseline(bu)))
 
 			ru := robustify.NewFPU(robustify.WithFaultRate(rate, uint64(trial+101)))
-			d, _, err := inst.Robust(ru, apsp.Options{Iters: 20000, Tail: 4000})
+			d, _, err := inst.Robust(ru, apsp.Options{Iters: iters, Tail: tail})
 			if err != nil {
 				panic(err)
 			}
 			robust = append(robust, inst.MeanRelErr(d))
 		}
-		fmt.Printf("%-8g  %-20.3g %-.3g\n", rate, median(base), median(robust))
+		fmt.Fprintf(w, "%-8g  %-20.3g %-.3g\n", rate, median(base), median(robust))
 	}
 }
 

@@ -1,0 +1,15 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestShortestPathsSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	run(&buf, true)
+	if !strings.Contains(buf.String(), "Floyd-Warshall") {
+		t.Fatalf("unexpected output:\n%s", buf.String())
+	}
+}

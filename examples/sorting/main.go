@@ -10,17 +10,31 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
+	"os"
 
 	"robustify"
 )
 
 func main() {
+	run(os.Stdout, false)
+}
+
+// run executes the example, writing the report to w. quick shrinks the
+// sweep for smoke tests.
+func run(w io.Writer, quick bool) {
+	rates := []float64{0.001, 0.01, 0.05, 0.2, 0.5}
+	trials, iters, tail := 40, 10000, 2000
+	if quick {
+		rates = []float64{0.01, 0.2}
+		trials, iters, tail = 6, 1500, 300
+	}
+
 	rng := rand.New(rand.NewSource(7))
-	fmt.Println("rate      quicksort   robust-SGD   (success over 40 arrays)")
-	for _, rate := range []float64{0.001, 0.01, 0.05, 0.2, 0.5} {
+	fmt.Fprintf(w, "rate      quicksort   robust-SGD   (success over %d arrays)\n", trials)
+	for _, rate := range rates {
 		var baseOK, robustOK int
-		const trials = 40
 		for trial := 0; trial < trials; trial++ {
 			data := make([]float64, 5)
 			for i, p := range rng.Perm(5) {
@@ -35,8 +49,8 @@ func main() {
 
 			ru := robustify.NewFPU(robustify.WithFaultRate(rate, seed+1000))
 			out, _, err := robustify.RobustSort(ru, data, robustify.SortOptions{
-				Iters: 10000,
-				Tail:  2000, // Polyak averaging: the Theorem 1 iterate
+				Iters: iters,
+				Tail:  tail, // Polyak averaging: the Theorem 1 iterate
 			})
 			if err != nil {
 				panic(err)
@@ -45,7 +59,7 @@ func main() {
 				robustOK++
 			}
 		}
-		fmt.Printf("%-8g  %5.1f%%      %5.1f%%\n", rate,
-			100*float64(baseOK)/trials, 100*float64(robustOK)/trials)
+		fmt.Fprintf(w, "%-8g  %5.1f%%      %5.1f%%\n", rate,
+			100*float64(baseOK)/float64(trials), 100*float64(robustOK)/float64(trials))
 	}
 }

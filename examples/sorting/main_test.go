@@ -1,0 +1,15 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSortingSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	run(&buf, true)
+	if !strings.Contains(buf.String(), "quicksort") {
+		t.Fatalf("unexpected output:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,3 @@
+module robustify
+
+go 1.24

@@ -126,9 +126,8 @@ func (p *Problem) Grad(w, grad []float64) {
 	u := p.u
 	n := p.x.Rows
 	inv := 1 / float64(n)
-	for j := range grad {
-		grad[j] = u.Mul(p.lambda, w[j])
-	}
+	linalg.Copy(grad, w)
+	linalg.Scale(u, p.lambda, grad)
 	for i := 0; i < n; i++ {
 		row := p.x.Row(i)
 		score := u.Mul(p.y[i], linalg.Dot(u, row, w))

@@ -5,6 +5,11 @@ import "math"
 // WordBits is the width of the simulated FPU datapath.
 const WordBits = 64
 
+// sampleBuckets is the size of the Sample lookup table. Each bucket
+// brackets the CDF region its slice of [0, 1) can land in, so most draws
+// resolve without a search.
+const sampleBuckets = 256
+
 // BitDistribution is a probability distribution over the bit positions of an
 // IEEE-754 double word (bit 0 = mantissa LSB, bit 63 = sign). A fault flips
 // exactly one bit drawn from this distribution.
@@ -13,6 +18,10 @@ type BitDistribution struct {
 	// cdf[i] is the cumulative probability of flipping a bit <= i.
 	cdf [WordBits]float64
 	pmf [WordBits]float64
+	// bucketLo/bucketHi[k] bound the possible Sample results for variates
+	// in [k, k+1)/sampleBuckets.
+	bucketLo [sampleBuckets]uint8
+	bucketHi [sampleBuckets]uint8
 }
 
 // NewBitDistribution builds a distribution from non-negative weights, one per
@@ -45,24 +54,44 @@ func NewBitDistribution(name string, weights [WordBits]float64) BitDistribution 
 		d.cdf[i] = acc
 	}
 	d.cdf[WordBits-1] = 1
+	for k := 0; k < sampleBuckets; k++ {
+		d.bucketLo[k] = uint8(d.search(float64(k)/sampleBuckets, 0, WordBits-1))
+		d.bucketHi[k] = uint8(d.search(float64(k+1)/sampleBuckets, 0, WordBits-1))
+	}
 	return d
 }
 
 // Name returns the distribution's label.
-func (d BitDistribution) Name() string { return d.name }
+func (d *BitDistribution) Name() string { return d.name }
 
 // Prob returns the probability of flipping the given bit.
-func (d BitDistribution) Prob(bit int) float64 {
+func (d *BitDistribution) Prob(bit int) float64 {
 	if bit < 0 || bit >= WordBits {
 		return 0
 	}
 	return d.pmf[bit]
 }
 
-// Sample draws a bit position using the uniform variate u in [0, 1).
-func (d BitDistribution) Sample(u float64) int {
-	// Binary search the CDF.
-	lo, hi := 0, WordBits-1
+// Sample draws a bit position using the uniform variate u in [0, 1). The
+// bucket table narrows the CDF search range first; most buckets span a
+// single bit, so the common case is a table lookup.
+func (d *BitDistribution) Sample(u float64) int {
+	k := int(u * sampleBuckets)
+	if k < 0 {
+		k = 0
+	} else if k >= sampleBuckets {
+		k = sampleBuckets - 1
+	}
+	lo, hi := int(d.bucketLo[k]), int(d.bucketHi[k])
+	if lo == hi {
+		return lo
+	}
+	return d.search(u, lo, hi)
+}
+
+// search returns the smallest bit index in [lo, hi] whose cumulative
+// probability is at least u (binary search on the CDF).
+func (d *BitDistribution) search(u float64, lo, hi int) int {
 	for lo < hi {
 		mid := (lo + hi) / 2
 		if d.cdf[mid] < u {
@@ -147,6 +176,11 @@ func LowOrderDistribution() BitDistribution {
 	return NewBitDistribution("low-order", w)
 }
 
+// emulatedDefault caches the default bit distribution: sweeps construct one
+// injector per trial, and the distribution (with its bucket table) is
+// immutable, so it is built once instead of per NewInjector call.
+var emulatedDefault = EmulatedDistribution()
+
 // Injector corrupts FPU results: at LFSR-scheduled intervals it flips one
 // bit of the result word, with the bit position drawn from a
 // BitDistribution. It is the software equivalent of the paper's
@@ -157,6 +191,9 @@ type Injector struct {
 	rng       *LFSR
 	countdown uint64
 	injected  uint64
+	// gapHi caches the UniformGap range for mean 1/rate: gaps are
+	// 1 + Uint64()%gapHi, or a constant 1 when gapHi is 0 (rate ≥ 1).
+	gapHi uint64
 }
 
 // InjectorOption configures an Injector.
@@ -181,8 +218,16 @@ func NewInjector(rate float64, seed uint64, opts ...InjectorOption) *Injector {
 	}
 	in := &Injector{
 		rate: rate,
-		dist: EmulatedDistribution(),
+		dist: emulatedDefault,
 		rng:  NewLFSR(seed),
+	}
+	// Precompute the UniformGap range (its mean > 1 branch) so reschedule
+	// avoids the division and conversions on every fault.
+	if mean := 1 / rate; rate > 0 && mean > 1 {
+		in.gapHi = uint64(2*mean) - 1
+		if in.gapHi < 1 {
+			in.gapHi = 1
+		}
 	}
 	for _, opt := range opts {
 		opt(in)
@@ -195,17 +240,20 @@ func NewInjector(rate float64, seed uint64, opts ...InjectorOption) *Injector {
 func (in *Injector) Rate() float64 { return in.rate }
 
 // Distribution returns the bit-position distribution in use.
-func (in *Injector) Distribution() BitDistribution { return in.dist }
+func (in *Injector) Distribution() *BitDistribution { return &in.dist }
 
 // Injected returns how many faults the injector has delivered.
 func (in *Injector) Injected() uint64 { return in.injected }
 
 func (in *Injector) reschedule() {
-	if in.rate <= 0 {
+	switch {
+	case in.rate <= 0:
 		in.countdown = math.MaxUint64
-		return
+	case in.gapHi == 0: // mean gap ≤ 1: back-to-back faults, no draw
+		in.countdown = 1
+	default:
+		in.countdown = 1 + in.rng.Uint64()%in.gapHi
 	}
-	in.countdown = in.rng.UniformGap(1 / in.rate)
 }
 
 // Fire accounts one operation against the fault schedule and reports

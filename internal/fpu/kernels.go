@@ -1,0 +1,374 @@
+package fpu
+
+// Batched kernels: the vector fast path of the simulated FPU.
+//
+// The scalar methods (Add, Mul, …) pay one method call, one accounting
+// update, and one injector check per floating point operation, which
+// dominates the runtime of every figure sweep. The kernels below exploit
+// the injector's fault schedule instead: the countdown says exactly how
+// many upcoming operations are guaranteed fault-free, so between faults a
+// kernel runs a plain tight Go loop with no per-element dispatch, charges
+// FLOP and energy accounting in bulk, and routes only the operations at a
+// countdown expiry through the injector.
+//
+// Every kernel is bit-identical to the equivalent scalar-method loop under
+// the same injector seed: same operation order, same per-operation
+// single-precision rounding, same LFSR draws, same flipped bits, and the
+// same FLOP, per-op, and fault counters. The only permitted divergence is
+// the energy accumulator, which is charged as opEnergy×n in one step
+// rather than by n repeated additions and may therefore differ from the
+// scalar path in the last ulp when opEnergy is not exactly representable.
+//
+// The explicit float64 conversions around products in the tight loops are
+// load-bearing: they force the product to round separately from the
+// following addition, forbidding fused-multiply-add contraction that would
+// otherwise break bit-compatibility with the scalar path on architectures
+// where the compiler fuses.
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrKernelLen is the panic value for kernel operand length mismatches,
+// mirroring linalg.ErrShape (which fpu cannot import) as an inspectable
+// error value.
+var ErrKernelLen = errors.New("fpu: kernel operand length mismatch")
+
+// charge bulk-charges accounting for n operations of class op.
+func (u *Unit) charge(op Op, n int) {
+	u.flops += uint64(n)
+	u.perOp[op] += uint64(n)
+	u.energy += u.opEnergy * float64(n)
+}
+
+// chargePair bulk-charges accounting for n (op1, op2) operation pairs.
+func (u *Unit) chargePair(op1, op2 Op, n int) {
+	u.flops += 2 * uint64(n)
+	u.perOp[op1] += uint64(n)
+	u.perOp[op2] += uint64(n)
+	u.energy += u.opEnergy * float64(2*n)
+}
+
+// soloRun returns how many single-operation elements can run fault-free,
+// capped at rem, and consumes their operations from the fault schedule.
+// When the return value is less than rem, the next operation faults.
+func (u *Unit) soloRun(rem int) int {
+	if u.inj == nil || u.inj.countdown == math.MaxUint64 {
+		return rem
+	}
+	c := u.inj.countdown
+	if safe := c - 1; safe >= uint64(rem) {
+		u.inj.countdown = c - uint64(rem)
+		return rem
+	}
+	u.inj.countdown = 1
+	return int(c - 1)
+}
+
+// pairRun is soloRun for elements costing two operations each. When the
+// return value is less than rem, the next element spans a fault.
+func (u *Unit) pairRun(rem int) int {
+	if u.inj == nil || u.inj.countdown == math.MaxUint64 {
+		return rem
+	}
+	c := u.inj.countdown
+	safe := (c - 1) / 2
+	if safe >= uint64(rem) {
+		u.inj.countdown = c - 2*uint64(rem)
+		return rem
+	}
+	u.inj.countdown = c - 2*safe
+	return int(safe)
+}
+
+// injectOp mirrors commit's rounding and injection for one operation whose
+// accounting has already been bulk-charged.
+func (u *Unit) injectOp(v float64) float64 {
+	if u.single {
+		v = float64(float32(v))
+	}
+	if u.inj == nil {
+		return v
+	}
+	out, faulted := u.inj.Apply(v)
+	if faulted {
+		u.faults++
+	}
+	return out
+}
+
+// Dot returns aᵀb, bit-identical to the scalar loop
+// s = u.Add(s, u.Mul(a[i], b[i])).
+func (u *Unit) Dot(a, b []float64) float64 {
+	n := len(a)
+	if len(b) != n {
+		panic(ErrKernelLen)
+	}
+	if u == nil {
+		var s float64
+		for i := 0; i < n; i++ {
+			s += float64(a[i] * b[i])
+		}
+		return s
+	}
+	u.chargePair(OpMul, OpAdd, n)
+	var s float64
+	for i := 0; i < n; {
+		run := i + u.pairRun(n-i)
+		if u.single {
+			for ; i < run; i++ {
+				s = float64(float32(s + float64(float32(a[i]*b[i]))))
+			}
+		} else {
+			for ; i < run; i++ {
+				s += float64(a[i] * b[i])
+			}
+		}
+		if i < n {
+			s = u.injectOp(s + u.injectOp(float64(a[i]*b[i])))
+			i++
+		}
+	}
+	return s
+}
+
+// DotRev returns Σ a[d]·b[len(b)−1−d]: a dot product with the second
+// operand traversed backwards, the access pattern of a banded Toeplitz
+// row. Bit-identical to the scalar loop s = u.Add(s, u.Mul(a[d], b[n−1−d])).
+func (u *Unit) DotRev(a, b []float64) float64 {
+	n := len(a)
+	if len(b) != n {
+		panic(ErrKernelLen)
+	}
+	if u == nil {
+		var s float64
+		for i := 0; i < n; i++ {
+			s += float64(a[i] * b[n-1-i])
+		}
+		return s
+	}
+	u.chargePair(OpMul, OpAdd, n)
+	var s float64
+	for i := 0; i < n; {
+		run := i + u.pairRun(n-i)
+		if u.single {
+			for ; i < run; i++ {
+				s = float64(float32(s + float64(float32(a[i]*b[n-1-i]))))
+			}
+		} else {
+			for ; i < run; i++ {
+				s += float64(a[i] * b[n-1-i])
+			}
+		}
+		if i < n {
+			s = u.injectOp(s + u.injectOp(float64(a[i]*b[n-1-i])))
+			i++
+		}
+	}
+	return s
+}
+
+// Axpy sets y ← y + alpha·x, bit-identical to the scalar loop
+// y[i] = u.Add(y[i], u.Mul(alpha, x[i])).
+func (u *Unit) Axpy(alpha float64, x, y []float64) {
+	n := len(x)
+	if len(y) != n {
+		panic(ErrKernelLen)
+	}
+	if u == nil {
+		for i := 0; i < n; i++ {
+			y[i] += float64(alpha * x[i])
+		}
+		return
+	}
+	u.chargePair(OpMul, OpAdd, n)
+	for i := 0; i < n; {
+		run := i + u.pairRun(n-i)
+		if u.single {
+			for ; i < run; i++ {
+				y[i] = float64(float32(y[i] + float64(float32(alpha*x[i]))))
+			}
+		} else {
+			for ; i < run; i++ {
+				y[i] += float64(alpha * x[i])
+			}
+		}
+		if i < n {
+			y[i] = u.injectOp(y[i] + u.injectOp(float64(alpha*x[i])))
+			i++
+		}
+	}
+}
+
+// Xpay sets y ← x + alpha·y (the CG direction recurrence), bit-identical
+// to the scalar loop y[i] = u.Add(x[i], u.Mul(alpha, y[i])).
+func (u *Unit) Xpay(x []float64, alpha float64, y []float64) {
+	n := len(x)
+	if len(y) != n {
+		panic(ErrKernelLen)
+	}
+	if u == nil {
+		for i := 0; i < n; i++ {
+			y[i] = x[i] + float64(alpha*y[i])
+		}
+		return
+	}
+	u.chargePair(OpMul, OpAdd, n)
+	for i := 0; i < n; {
+		run := i + u.pairRun(n-i)
+		if u.single {
+			for ; i < run; i++ {
+				y[i] = float64(float32(x[i] + float64(float32(alpha*y[i]))))
+			}
+		} else {
+			for ; i < run; i++ {
+				y[i] = x[i] + float64(alpha*y[i])
+			}
+		}
+		if i < n {
+			y[i] = u.injectOp(x[i] + u.injectOp(float64(alpha*y[i])))
+			i++
+		}
+	}
+}
+
+// Sum returns Σ x[i], bit-identical to the scalar loop s = u.Add(s, x[i]).
+func (u *Unit) Sum(x []float64) float64 {
+	n := len(x)
+	if u == nil {
+		var s float64
+		for i := 0; i < n; i++ {
+			s += x[i]
+		}
+		return s
+	}
+	u.charge(OpAdd, n)
+	var s float64
+	for i := 0; i < n; {
+		run := i + u.soloRun(n-i)
+		if u.single {
+			for ; i < run; i++ {
+				s = float64(float32(s + x[i]))
+			}
+		} else {
+			for ; i < run; i++ {
+				s += x[i]
+			}
+		}
+		if i < n {
+			s = u.injectOp(s + x[i])
+			i++
+		}
+	}
+	return s
+}
+
+// Scale sets x ← alpha·x, bit-identical to the scalar loop
+// x[i] = u.Mul(alpha, x[i]).
+func (u *Unit) Scale(alpha float64, x []float64) {
+	n := len(x)
+	if u == nil {
+		for i := 0; i < n; i++ {
+			x[i] = alpha * x[i]
+		}
+		return
+	}
+	u.charge(OpMul, n)
+	for i := 0; i < n; {
+		run := i + u.soloRun(n-i)
+		if u.single {
+			for ; i < run; i++ {
+				x[i] = float64(float32(alpha * x[i]))
+			}
+		} else {
+			for ; i < run; i++ {
+				x[i] = alpha * x[i]
+			}
+		}
+		if i < n {
+			x[i] = u.injectOp(alpha * x[i])
+			i++
+		}
+	}
+}
+
+// AddVec sets dst ← a + b elementwise, bit-identical to the scalar loop
+// dst[i] = u.Add(a[i], b[i]). dst may alias a or b.
+func (u *Unit) AddVec(a, b, dst []float64) {
+	n := len(a)
+	if len(b) != n || len(dst) != n {
+		panic(ErrKernelLen)
+	}
+	if u == nil {
+		for i := 0; i < n; i++ {
+			dst[i] = a[i] + b[i]
+		}
+		return
+	}
+	u.charge(OpAdd, n)
+	for i := 0; i < n; {
+		run := i + u.soloRun(n-i)
+		if u.single {
+			for ; i < run; i++ {
+				dst[i] = float64(float32(a[i] + b[i]))
+			}
+		} else {
+			for ; i < run; i++ {
+				dst[i] = a[i] + b[i]
+			}
+		}
+		if i < n {
+			dst[i] = u.injectOp(a[i] + b[i])
+			i++
+		}
+	}
+}
+
+// SubVec sets dst ← a − b elementwise, bit-identical to the scalar loop
+// dst[i] = u.Sub(a[i], b[i]). dst may alias a or b.
+func (u *Unit) SubVec(a, b, dst []float64) {
+	n := len(a)
+	if len(b) != n || len(dst) != n {
+		panic(ErrKernelLen)
+	}
+	if u == nil {
+		for i := 0; i < n; i++ {
+			dst[i] = a[i] - b[i]
+		}
+		return
+	}
+	u.charge(OpSub, n)
+	for i := 0; i < n; {
+		run := i + u.soloRun(n-i)
+		if u.single {
+			for ; i < run; i++ {
+				dst[i] = float64(float32(a[i] - b[i]))
+			}
+		} else {
+			for ; i < run; i++ {
+				dst[i] = a[i] - b[i]
+			}
+		}
+		if i < n {
+			dst[i] = u.injectOp(a[i] - b[i])
+			i++
+		}
+	}
+}
+
+// Gemv sets dst ← A·x for the row-major rows×cols matrix a, one batched
+// Dot per row. Bit-identical to the scalar per-row dot loops.
+func (u *Unit) Gemv(a []float64, rows, cols int, x, dst []float64) {
+	if len(a) != rows*cols || len(x) != cols || len(dst) != rows {
+		panic(ErrKernelLen)
+	}
+	for i := 0; i < rows; i++ {
+		dst[i] = u.Dot(a[i*cols:(i+1)*cols], x)
+	}
+}
+
+// Norm2 returns ‖x‖₂, bit-identical to u.Sqrt of the scalar dot loop.
+func (u *Unit) Norm2(x []float64) float64 {
+	return u.Sqrt(u.Dot(x, x))
+}

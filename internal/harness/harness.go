@@ -68,6 +68,19 @@ func (s Sweep) TrialSeed(rateIdx, trial int) uint64 {
 // Run executes fn over the full rate×trial grid and returns the mean metric
 // per rate.
 func (s Sweep) Run(fn TrialFunc) []Point {
+	return s.aggregate(fn, mean)
+}
+
+// RunMedian is Run with a median aggregate, preferred for error metrics
+// with occasional catastrophic outliers.
+func (s Sweep) RunMedian(fn TrialFunc) []Point {
+	return s.aggregate(fn, median)
+}
+
+// aggregate runs the full rate×trial grid in parallel, keyed by rate index
+// so duplicate or repeated rates aggregate into their own cells, and folds
+// each cell's trials with agg.
+func (s Sweep) aggregate(fn TrialFunc, agg func([]float64) float64) []Point {
 	if s.Trials <= 0 {
 		s.Trials = 1
 	}
@@ -101,33 +114,7 @@ func (s Sweep) Run(fn TrialFunc) []Point {
 
 	points := make([]Point, len(s.Rates))
 	for r, rate := range s.Rates {
-		points[r] = Point{Rate: rate, Value: mean(results[r])}
-	}
-	return points
-}
-
-// RunMedian is Run with a median aggregate, preferred for error metrics
-// with occasional catastrophic outliers.
-func (s Sweep) RunMedian(fn TrialFunc) []Point {
-	saved := make([][]float64, len(s.Rates))
-	var mu sync.Mutex
-	s.Run(func(rate float64, seed uint64) float64 {
-		v := fn(rate, seed)
-		idx := 0
-		for i, r := range s.Rates {
-			if r == rate {
-				idx = i
-				break
-			}
-		}
-		mu.Lock()
-		saved[idx] = append(saved[idx], v)
-		mu.Unlock()
-		return v
-	})
-	points := make([]Point, len(s.Rates))
-	for r, rate := range s.Rates {
-		points[r] = Point{Rate: rate, Value: median(saved[r])}
+		points[r] = Point{Rate: rate, Value: agg(results[r])}
 	}
 	return points
 }
@@ -177,9 +164,10 @@ func (t *Table) Render(w io.Writer) error {
 		header = append(header, s.Name)
 	}
 	rows := [][]string{header}
-	for i := range t.xValues() {
+	xs := t.xValues()
+	for i := range xs {
 		row := make([]string, 0, len(header))
-		row = append(row, formatRate(t.xValues()[i]))
+		row = append(row, formatRate(xs[i]))
 		for _, s := range t.Series {
 			if i < len(s.Points) {
 				row = append(row, formatValue(s.Points[i].Value))
@@ -224,7 +212,8 @@ func (t *Table) CSV(w io.Writer) error {
 	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
 		return err
 	}
-	for i, x := range t.xValues() {
+	xs := t.xValues()
+	for i, x := range xs {
 		row := []string{fmt.Sprintf("%g", x)}
 		for _, s := range t.Series {
 			if i < len(s.Points) {

@@ -64,6 +64,28 @@ func TestSweepRunMedianRobustToOutliers(t *testing.T) {
 	}
 }
 
+func TestSweepRunMedianDuplicateRates(t *testing.T) {
+	// Duplicate rates are distinct cells (e.g. before/after ablation pairs
+	// sharing an x value): values keyed by rate instead of rate index
+	// would all land in the first cell.
+	s := Sweep{Rates: []float64{0.1, 0.1}, Trials: 3, Seed: 4}
+	pts := s.RunMedian(func(rate float64, seed uint64) float64 {
+		// TrialSeed derives distinct seeds per rate index; recover which
+		// cell we are in from the seed so the two cells return different
+		// medians.
+		for trial := 0; trial < 3; trial++ {
+			if seed == s.TrialSeed(1, trial) {
+				return 7
+			}
+		}
+		return 3
+	})
+	if pts[0].Value != 3 || pts[1].Value != 7 {
+		t.Errorf("duplicate-rate medians = %v, %v; want 3, 7 (mis-bucketed by float match?)",
+			pts[0].Value, pts[1].Value)
+	}
+}
+
 func TestSweepParallelSafety(t *testing.T) {
 	s := Sweep{Rates: []float64{0, 1, 2, 3}, Trials: 50, Seed: 3, Workers: 8}
 	pts := s.Run(func(rate float64, seed uint64) float64 { return rate })

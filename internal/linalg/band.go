@@ -43,38 +43,32 @@ func (b *LowerBand) Dense() *Dense {
 	return m
 }
 
-// MulVec sets dst ← B·x on u. dst must not alias x.
+// MulVec sets dst ← B·x on u. dst must not alias x. Row i reads
+// x[i], x[i−1], …, so each row is one batched reverse dot.
 func (b *LowerBand) MulVec(u *fpu.Unit, x, dst []float64) {
 	if len(x) != b.N || len(dst) != b.N {
 		panic(ErrShape)
 	}
 	for i := 0; i < b.N; i++ {
-		var s float64
-		for d, c := range b.Coeff {
-			j := i - d
-			if j < 0 {
-				break
-			}
-			s = u.Add(s, u.Mul(c, x[j]))
+		m := len(b.Coeff)
+		if m > i+1 {
+			m = i + 1
 		}
-		dst[i] = s
+		dst[i] = u.DotRev(b.Coeff[:m], x[i+1-m:i+1])
 	}
 }
 
-// TMulVec sets dst ← Bᵀ·x on u. dst must not alias x.
+// TMulVec sets dst ← Bᵀ·x on u. dst must not alias x. Column j reads
+// x[j], x[j+1], …, so each column is one batched forward dot.
 func (b *LowerBand) TMulVec(u *fpu.Unit, x, dst []float64) {
 	if len(x) != b.N || len(dst) != b.N {
 		panic(ErrShape)
 	}
 	for j := 0; j < b.N; j++ {
-		var s float64
-		for d, c := range b.Coeff {
-			i := j + d
-			if i >= b.N {
-				break
-			}
-			s = u.Add(s, u.Mul(c, x[i]))
+		m := len(b.Coeff)
+		if m > b.N-j {
+			m = b.N - j
 		}
-		dst[j] = s
+		dst[j] = u.Dot(b.Coeff[:m], x[j:j+m])
 	}
 }

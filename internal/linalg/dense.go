@@ -64,9 +64,7 @@ func (m *Dense) MulVec(u *fpu.Unit, x, dst []float64) {
 	if len(x) != m.Cols || len(dst) != m.Rows {
 		panic(ErrShape)
 	}
-	for i := 0; i < m.Rows; i++ {
-		dst[i] = Dot(u, m.Row(i), x)
-	}
+	u.Gemv(m.Data, m.Rows, m.Cols, x, dst)
 }
 
 // TMulVec sets dst ← Mᵀ·x on u. dst must have length Cols and must not
@@ -77,11 +75,7 @@ func (m *Dense) TMulVec(u *fpu.Unit, x, dst []float64) {
 	}
 	Fill(dst, 0)
 	for i := 0; i < m.Rows; i++ {
-		row := m.Row(i)
-		xi := x[i]
-		for j := range row {
-			dst[j] = u.Add(dst[j], u.Mul(row[j], xi))
-		}
+		u.Axpy(x[i], m.Row(i), dst)
 	}
 }
 
@@ -98,10 +92,7 @@ func (m *Dense) Mul(u *fpu.Unit, b *Dense) *Dense {
 			if mik == 0 {
 				continue
 			}
-			brow := b.Row(k)
-			for j := range brow {
-				orow[j] = u.Add(orow[j], u.Mul(mik, brow[j]))
-			}
+			u.Axpy(mik, b.Row(k), orow)
 		}
 	}
 	return out
@@ -116,10 +107,7 @@ func (m *Dense) Gram(u *fpu.Unit) *Dense {
 			if vi == 0 {
 				continue
 			}
-			orow := out.Row(i)
-			for j, vj := range row {
-				orow[j] = u.Add(orow[j], u.Mul(vi, vj))
-			}
+			u.Axpy(vi, row, out.Row(i))
 		}
 	}
 	return out

@@ -17,38 +17,44 @@ import (
 // ErrShape is returned when operand dimensions do not conform.
 var ErrShape = errors.New("linalg: dimension mismatch")
 
-// Dot returns aᵀb computed on u.
+// Dot returns aᵀb computed on u's batched kernel.
 func Dot(u *fpu.Unit, a, b []float64) float64 {
 	if len(a) != len(b) {
 		panic(ErrShape)
 	}
-	var s float64
-	for i := range a {
-		s = u.Add(s, u.Mul(a[i], b[i]))
-	}
-	return s
+	return u.Dot(a, b)
 }
 
-// Axpy sets y ← y + alpha·x on u.
+// Axpy sets y ← y + alpha·x on u's batched kernel.
 func Axpy(u *fpu.Unit, alpha float64, x, y []float64) {
 	if len(x) != len(y) {
 		panic(ErrShape)
 	}
-	for i := range x {
-		y[i] = u.Add(y[i], u.Mul(alpha, x[i]))
-	}
+	u.Axpy(alpha, x, y)
 }
 
-// Scale sets x ← alpha·x on u.
+// Xpay sets y ← x + alpha·y on u's batched kernel (the CG direction
+// recurrence).
+func Xpay(u *fpu.Unit, x []float64, alpha float64, y []float64) {
+	if len(x) != len(y) {
+		panic(ErrShape)
+	}
+	u.Xpay(x, alpha, y)
+}
+
+// Scale sets x ← alpha·x on u's batched kernel.
 func Scale(u *fpu.Unit, alpha float64, x []float64) {
-	for i := range x {
-		x[i] = u.Mul(alpha, x[i])
-	}
+	u.Scale(alpha, x)
 }
 
-// Norm2 returns ‖x‖₂ computed on u.
+// Sum returns Σ x[i] computed on u's batched kernel.
+func Sum(u *fpu.Unit, x []float64) float64 {
+	return u.Sum(x)
+}
+
+// Norm2 returns ‖x‖₂ computed on u's batched kernel.
 func Norm2(u *fpu.Unit, x []float64) float64 {
-	return u.Sqrt(Dot(u, x, x))
+	return u.Norm2(x)
 }
 
 // SqNorm2 returns ‖x‖₂² computed on u.
@@ -56,24 +62,20 @@ func SqNorm2(u *fpu.Unit, x []float64) float64 {
 	return Dot(u, x, x)
 }
 
-// Sub sets dst ← a − b on u.
+// Sub sets dst ← a − b on u's batched kernel.
 func Sub(u *fpu.Unit, a, b, dst []float64) {
 	if len(a) != len(b) || len(a) != len(dst) {
 		panic(ErrShape)
 	}
-	for i := range a {
-		dst[i] = u.Sub(a[i], b[i])
-	}
+	u.SubVec(a, b, dst)
 }
 
-// Add sets dst ← a + b on u.
+// Add sets dst ← a + b on u's batched kernel.
 func Add(u *fpu.Unit, a, b, dst []float64) {
 	if len(a) != len(b) || len(a) != len(dst) {
 		panic(ErrShape)
 	}
-	for i := range a {
-		dst[i] = u.Add(a[i], b[i])
-	}
+	u.AddVec(a, b, dst)
 }
 
 // Copy copies src into dst (no FLOPs).

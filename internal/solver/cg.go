@@ -107,9 +107,7 @@ func CG(u *fpu.Unit, mul MulFunc, b, x0 []float64, opts CGOptions) (Result, erro
 			continue
 		}
 		beta := rsNew / rs
-		for i := range p {
-			p[i] = u.Add(r[i], u.Mul(beta, p[i]))
-		}
+		linalg.Xpay(u, r, beta, p)
 		if !linalg.AllFinite(p) {
 			res.Skipped++
 			if !restart() {
