@@ -5,6 +5,9 @@
 //
 //	faultsim -mode hist|voltage|trace [-rate R] [-dist emulated|measured|uniform|low]
 //	         [-n N] [-seed S]
+//
+// -n is a raw count in every mode: samples drawn in hist mode, ops traced
+// in trace mode.
 package main
 
 import (
@@ -29,15 +32,18 @@ func run(args []string) error {
 		mode = fs.String("mode", "hist", "hist | voltage | trace")
 		rate = fs.Float64("rate", 0.01, "faults per FLOP for trace mode")
 		dist = fs.String("dist", "emulated", "bit distribution: emulated | measured | uniform | low")
-		n    = fs.Int("n", 20, "ops (trace) / samples in thousands (hist)")
+		n    = fs.Int("n", 20000, "raw count: samples to draw (hist) / ops to trace (trace)")
 		seed = fs.Uint64("seed", 1, "RNG seed")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *n <= 0 {
+		return fmt.Errorf("-n must be positive, got %d", *n)
+	}
 	switch *mode {
 	case "hist":
-		return hist(pickDist(*dist), *n*1000, *seed)
+		return hist(pickDist(*dist), *n, *seed)
 	case "voltage":
 		return voltage()
 	case "trace":

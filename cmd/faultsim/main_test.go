@@ -3,13 +3,15 @@ package main
 import "testing"
 
 func TestRunModes(t *testing.T) {
+	// -n is a raw count in every mode: samples in hist, ops in trace.
 	for _, args := range [][]string{
-		{"-mode", "hist", "-n", "1"},
-		{"-mode", "hist", "-dist", "measured", "-n", "1"},
-		{"-mode", "hist", "-dist", "uniform", "-n", "1"},
-		{"-mode", "hist", "-dist", "low", "-n", "1"},
+		{"-mode", "hist", "-n", "1000"},
+		{"-mode", "hist", "-dist", "measured", "-n", "1000"},
+		{"-mode", "hist", "-dist", "uniform", "-n", "1000"},
+		{"-mode", "hist", "-dist", "low", "-n", "1000"},
 		{"-mode", "voltage"},
 		{"-mode", "trace", "-rate", "0.2", "-n", "50"},
+		{"-mode", "trace", "-rate", "0.05", "-dist", "measured", "-n", "200"},
 	} {
 		if err := run(args); err != nil {
 			t.Errorf("run(%v): %v", args, err)
@@ -20,6 +22,17 @@ func TestRunModes(t *testing.T) {
 func TestRunUnknownMode(t *testing.T) {
 	if err := run([]string{"-mode", "nope"}); err == nil {
 		t.Error("unknown mode accepted")
+	}
+}
+
+func TestRunRejectsNonPositiveN(t *testing.T) {
+	for _, mode := range []string{"hist", "trace"} {
+		if err := run([]string{"-mode", mode, "-n", "0"}); err == nil {
+			t.Errorf("mode %s accepted -n 0", mode)
+		}
+		if err := run([]string{"-mode", mode, "-n", "-5"}); err == nil {
+			t.Errorf("mode %s accepted negative -n", mode)
+		}
 	}
 }
 

@@ -4,19 +4,28 @@
 // Usage:
 //
 //	robustbench [-fig all|5.1|5.2|6.1|...|6.7|momentum|flops]
-//	            [-trials N] [-seed S] [-quick] [-csv DIR] [-list]
+//	            [-trials N] [-seed S] [-quick] [-workers N]
+//	            [-csv DIR] [-out DIR] [-resume DIR] [-list]
 //
 // With -csv, each figure is additionally written as DIR/fig-<id>.csv.
+// With -out, every completed trial of a sweep-shaped figure is persisted
+// to an append-only campaign store under DIR as it finishes; an
+// interrupted run restarted with -resume DIR re-executes only the missing
+// trials and produces a table byte-identical to an uninterrupted run with
+// the same flags.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 	"time"
 
+	"robustify/internal/campaign"
 	"robustify/internal/figures"
 	"robustify/internal/harness"
 )
@@ -31,12 +40,15 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("robustbench", flag.ContinueOnError)
 	var (
-		fig    = fs.String("fig", "all", "figure id to regenerate, or 'all'")
-		trials = fs.Int("trials", 0, "trials per cell (0 = figure default)")
-		seed   = fs.Uint64("seed", 1, "base RNG seed")
-		quick  = fs.Bool("quick", false, "scaled-down problem sizes and grids")
-		csvDir = fs.String("csv", "", "directory for CSV export (optional)")
-		list   = fs.Bool("list", false, "list available figures and exit")
+		fig     = fs.String("fig", "all", "figure id to regenerate, or 'all'")
+		trials  = fs.Int("trials", 0, "trials per cell (0 = figure default)")
+		seed    = fs.Uint64("seed", 1, "base RNG seed")
+		quick   = fs.Bool("quick", false, "scaled-down problem sizes and grids")
+		workers = fs.Int("workers", 0, "sweep worker goroutines (0 = GOMAXPROCS)")
+		csvDir  = fs.String("csv", "", "directory for CSV export (optional)")
+		outDir  = fs.String("out", "", "persist per-trial results to campaign stores under DIR")
+		resume  = fs.String("resume", "", "resume persisted campaign stores under DIR (implies -out DIR)")
+		list    = fs.Bool("list", false, "list available figures and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -47,14 +59,48 @@ func run(args []string) error {
 		}
 		return nil
 	}
-	cfg := figures.Config{Trials: *trials, Seed: *seed, Quick: *quick}
+	if *outDir != "" && *resume != "" && *outDir != *resume {
+		return fmt.Errorf("-out %s and -resume %s disagree; -resume already persists, pass only one", *outDir, *resume)
+	}
+	storeDir := *outDir
+	if *resume != "" {
+		storeDir = *resume
+	}
+	ctx := context.Background()
+	if storeDir != "" {
+		// Only campaign runs are interrupt-aware (trials stay durable and
+		// resumable); leave the default terminate-on-SIGINT behavior for
+		// storeless runs. After the first Ctrl-C, restore the default so
+		// a second one can force-quit a hung trial.
+		var stop context.CancelFunc
+		ctx, stop = signal.NotifyContext(ctx, os.Interrupt)
+		defer stop()
+		context.AfterFunc(ctx, stop)
+	}
+
+	cfg := figures.Config{Trials: *trials, Seed: *seed, Quick: *quick, Workers: *workers}
 	selected := strings.Split(*fig, ",")
 	for _, f := range figures.All() {
 		if !match(selected, f.ID) {
 			continue
 		}
 		start := time.Now()
-		table := f.Build(cfg)
+		var table *harness.Table
+		if storeDir != "" && figures.HasPlan(f.ID) {
+			var err error
+			table, err = runCampaign(ctx, storeDir, f.ID, cfg)
+			if err != nil {
+				return err
+			}
+			if table == nil { // interrupted: completed trials are on disk
+				return fmt.Errorf("interrupted; rerun with -resume %s to continue", storeDir)
+			}
+		} else {
+			if storeDir != "" {
+				fmt.Fprintf(os.Stderr, "robustbench: figure %s is not sweep-shaped; running without a store\n", f.ID)
+			}
+			table = f.Build(cfg)
+		}
 		if err := table.Render(os.Stdout); err != nil {
 			return err
 		}
@@ -66,6 +112,53 @@ func run(args []string) error {
 		}
 	}
 	return nil
+}
+
+// runCampaign executes one figure through the campaign engine so every
+// completed trial is durable under dir and prior runs are resumed instead
+// of repeated. A nil table with nil error means ctx was cancelled.
+func runCampaign(ctx context.Context, dir, id string, cfg figures.Config) (*harness.Table, error) {
+	spec := campaign.Spec{
+		Figure:  id,
+		Trials:  cfg.Trials,
+		Seed:    cfg.Seed,
+		Workers: cfg.Workers,
+		Quick:   cfg.Quick,
+	}
+	camp, err := campaign.Compile(spec)
+	if err != nil {
+		return nil, err
+	}
+	st, err := campaign.Open(filepath.Join(dir, figFileName(id)))
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+	if prev, ok, err := st.LoadSpec(); err != nil {
+		return nil, err
+	} else if ok && !campaign.ResumeCompatible(prev, spec) {
+		return nil, fmt.Errorf("store %s was created by a different run (figure/trials/seed/quick changed); use a fresh -out directory", st.Dir())
+	}
+	if err := st.SaveSpec(spec); err != nil {
+		return nil, err
+	}
+	exec := campaign.NewExecution(camp, st)
+	if done := exec.Progress().Done; done > 0 {
+		fmt.Fprintf(os.Stderr, "robustbench: resuming %s: %d/%d trials already recorded\n", id, done, camp.Total())
+	}
+	if err := exec.Run(ctx); err != nil {
+		if ctx.Err() != nil {
+			return nil, nil
+		}
+		return nil, err
+	}
+	return exec.Table(), nil
+}
+
+// figFileName is the on-disk name for a figure's store directory and CSV
+// file stem; the layout is pinned by tests and docs, so both users share it.
+func figFileName(id string) string {
+	return "fig-" + strings.ReplaceAll(id, ".", "_")
 }
 
 func match(selected []string, id string) bool {
@@ -81,7 +174,7 @@ func writeCSV(dir, id string, table *harness.Table) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	path := filepath.Join(dir, "fig-"+strings.ReplaceAll(id, ".", "_")+".csv")
+	path := filepath.Join(dir, figFileName(id)+".csv")
 	f, err := os.Create(path)
 	if err != nil {
 		return err

@@ -38,6 +38,61 @@ func TestRunUnknownFigureIsNoop(t *testing.T) {
 	}
 }
 
+func TestRunWorkersFlag(t *testing.T) {
+	// -workers must only schedule, never change results; smoke it on a
+	// sweep-shaped figure.
+	if err := run([]string{"-fig", "6.1", "-quick", "-workers", "2"}); err != nil {
+		t.Fatalf("-workers: %v", err)
+	}
+}
+
+func TestRunOutPersistsAndResumes(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-fig", "6.1", "-quick", "-seed", "7", "-out", dir}); err != nil {
+		t.Fatalf("-out run: %v", err)
+	}
+	store := filepath.Join(dir, "fig-6_1", "trials.jsonl")
+	data, err := os.ReadFile(store)
+	if err != nil {
+		t.Fatalf("trials store missing: %v", err)
+	}
+	if len(data) == 0 {
+		t.Fatal("trials store empty")
+	}
+	spec, err := os.ReadFile(filepath.Join(dir, "fig-6_1", "spec.json"))
+	if err != nil || len(spec) == 0 {
+		t.Fatalf("spec.json missing: %v", err)
+	}
+	// A resume of the complete store re-executes nothing and succeeds.
+	if err := run([]string{"-fig", "6.1", "-quick", "-seed", "7", "-resume", dir}); err != nil {
+		t.Fatalf("-resume run: %v", err)
+	}
+	after, err := os.ReadFile(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(data) {
+		t.Errorf("resume of a complete store grew it: %d -> %d bytes", len(data), len(after))
+	}
+}
+
+func TestRunResumeRejectsChangedSpec(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-fig", "6.1", "-quick", "-seed", "7", "-out", dir}); err != nil {
+		t.Fatalf("-out run: %v", err)
+	}
+	if err := run([]string{"-fig", "6.1", "-quick", "-seed", "8", "-resume", dir}); err == nil {
+		t.Error("resume with a different seed must be rejected")
+	}
+}
+
+func TestRunOutFallsBackForUnplannedFigure(t *testing.T) {
+	// 5.2 is not sweep-shaped; -out must fall back to the eager build.
+	if err := run([]string{"-fig", "5.2", "-quick", "-out", t.TempDir()}); err != nil {
+		t.Fatalf("non-sweep figure with -out: %v", err)
+	}
+}
+
 func TestRunBadFlag(t *testing.T) {
 	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
 		t.Error("bad flag accepted")

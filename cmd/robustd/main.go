@@ -1,0 +1,85 @@
+// Command robustd serves fault-injection campaigns over HTTP: submit a
+// declarative campaign spec, watch live progress, fetch results as text,
+// CSV, or JSON at any point mid-run, cancel, and resume. Every completed
+// trial is checkpointed to an append-only JSONL store under the data
+// directory, so campaigns survive cancellation and the daemon's results
+// are durable, queryable artifacts.
+//
+// Usage:
+//
+//	robustd [-addr :8080] [-data DIR] [-concurrency N]
+//
+// See README.md for the endpoint list and curl examples.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"robustify/internal/campaign"
+)
+
+func main() {
+	if err := run(os.Args[1:], nil); err != nil {
+		fmt.Fprintln(os.Stderr, "robustd:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the daemon. ready, if non-nil, receives the bound listen
+// address once the server is accepting connections (used by tests to bind
+// port 0 and learn the real port).
+func run(args []string, ready chan<- string) error {
+	fs := flag.NewFlagSet("robustd", flag.ContinueOnError)
+	var (
+		addr        = fs.String("addr", ":8080", "listen address")
+		data        = fs.String("data", "robustd-data", "campaign store directory")
+		concurrency = fs.Int("concurrency", 4, "max concurrently running campaigns")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*data, 0o755); err != nil {
+		return err
+	}
+
+	m := campaign.NewManager(*data, *concurrency)
+	defer m.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: campaign.NewServer(m)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	log.Printf("robustd: listening on %s, storing campaigns under %s", ln.Addr(), *data)
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	select {
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+		log.Printf("robustd: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return srv.Shutdown(shutdownCtx)
+	}
+}

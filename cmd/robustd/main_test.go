@@ -1,0 +1,121 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}, nil); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestRunBadAddr(t *testing.T) {
+	if err := run([]string{"-addr", "not-an-addr", "-data", t.TempDir()}, nil); err == nil {
+		t.Error("bad addr accepted")
+	}
+}
+
+// TestServeEndToEnd boots the daemon on an ephemeral port, drives the
+// submit → status → results flow over real HTTP, and shuts down via
+// SIGINT like a deployed process would.
+func TestServeEndToEnd(t *testing.T) {
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run([]string{"-addr", "127.0.0.1:0", "-data", t.TempDir()}, ready)
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-errc:
+		t.Fatalf("daemon exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+
+	spec := `{"custom":{"workload":"sort/base","rates":[0.01,0.2]},"trials":2,"seed":1}`
+	resp, err = http.Post(base+"/campaigns", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	var submitResp map[string]string
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &submitResp); err != nil {
+		t.Fatalf("submit response %q: %v", body, err)
+	}
+	id := submitResp["id"]
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(base + "/campaigns/" + id)
+		if err != nil {
+			t.Fatalf("status: %v", err)
+		}
+		var status struct {
+			State    string `json:"state"`
+			Progress struct{ Done, Total int }
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err := json.Unmarshal(data, &status); err != nil {
+			t.Fatalf("status body %q: %v", data, err)
+		}
+		if status.State == "done" {
+			if status.Progress.Done != status.Progress.Total {
+				t.Fatalf("done with progress %+v", status.Progress)
+			}
+			break
+		}
+		if status.State == "failed" || status.State == "cancelled" {
+			t.Fatalf("campaign ended %s: %s", status.State, data)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign stuck in %s", status.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	resp, err = http.Get(base + "/campaigns/" + id + "/results?format=csv")
+	if err != nil {
+		t.Fatalf("results: %v", err)
+	}
+	csv, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.HasPrefix(string(csv), "rate,") {
+		t.Fatalf("csv results = %d: %q", resp.StatusCode, csv)
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatalf("sigint: %v", err)
+	}
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+}

@@ -1,0 +1,180 @@
+package campaign
+
+import (
+	"math"
+	"sort"
+)
+
+// OnlineStats accumulates one cell's trial values in O(1) memory: count,
+// Welford mean/variance, min/max, and P²-estimated quantiles. It powers
+// live mid-run status; final tables are materialized exactly from the
+// store instead (TableFromStore), so the estimates here never leak into
+// published results.
+type OnlineStats struct {
+	n        int
+	mean, m2 float64
+	min, max float64
+	med      p2Quantile
+}
+
+// Add folds one value into the stats.
+func (o *OnlineStats) Add(x float64) {
+	if o.n == 0 {
+		o.min, o.max = x, x
+		o.med = newP2(0.5)
+	}
+	o.n++
+	d := x - o.mean
+	o.mean += d / float64(o.n)
+	o.m2 += d * (x - o.mean)
+	if x < o.min {
+		o.min = x
+	}
+	if x > o.max {
+		o.max = x
+	}
+	o.med.add(x)
+}
+
+// Count returns how many values were folded in.
+func (o *OnlineStats) Count() int { return o.n }
+
+// Mean returns the running mean (NaN when empty).
+func (o *OnlineStats) Mean() float64 {
+	if o.n == 0 {
+		return math.NaN()
+	}
+	return o.mean
+}
+
+// Var returns the running sample variance (NaN below two values).
+func (o *OnlineStats) Var() float64 {
+	if o.n < 2 {
+		return math.NaN()
+	}
+	return o.m2 / float64(o.n-1)
+}
+
+// Min and Max return the running extremes (NaN when empty).
+func (o *OnlineStats) Min() float64 {
+	if o.n == 0 {
+		return math.NaN()
+	}
+	return o.min
+}
+
+func (o *OnlineStats) Max() float64 {
+	if o.n == 0 {
+		return math.NaN()
+	}
+	return o.max
+}
+
+// Median returns the P² running median estimate. Exact for the first five
+// values, then an interpolated estimate with O(1) state.
+func (o *OnlineStats) Median() float64 {
+	if o.n == 0 {
+		return math.NaN()
+	}
+	return o.med.value()
+}
+
+// p2Quantile is the Jain & Chlamtac P² streaming quantile estimator: five
+// markers tracking the target quantile with parabolic interpolation.
+type p2Quantile struct {
+	p    float64
+	n    int
+	q    [5]float64 // marker heights
+	pos  [5]float64 // marker positions (1-based)
+	want [5]float64 // desired positions
+	inc  [5]float64 // desired-position increments
+}
+
+func newP2(p float64) p2Quantile {
+	return p2Quantile{
+		p:    p,
+		want: [5]float64{1, 1 + 2*p, 1 + 4*p, 3 + 2*p, 5},
+		inc:  [5]float64{0, p / 2, p, (1 + p) / 2, 1},
+	}
+}
+
+func (e *p2Quantile) add(x float64) {
+	if e.n < 5 {
+		e.q[e.n] = x
+		e.n++
+		if e.n == 5 {
+			sort.Float64s(e.q[:])
+			for i := range e.pos {
+				e.pos[i] = float64(i + 1)
+			}
+		}
+		return
+	}
+	// Locate the cell containing x and clamp the extreme markers.
+	var k int
+	switch {
+	case x < e.q[0]:
+		e.q[0], k = x, 0
+	case x < e.q[1]:
+		k = 0
+	case x < e.q[2]:
+		k = 1
+	case x < e.q[3]:
+		k = 2
+	case x <= e.q[4]:
+		k = 3
+	default:
+		e.q[4], k = x, 3
+	}
+	for i := k + 1; i < 5; i++ {
+		e.pos[i]++
+	}
+	for i := range e.want {
+		e.want[i] += e.inc[i]
+	}
+	// Nudge the three interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := e.want[i] - e.pos[i]
+		if (d >= 1 && e.pos[i+1]-e.pos[i] > 1) || (d <= -1 && e.pos[i-1]-e.pos[i] < -1) {
+			sign := 1.0
+			if d < 0 {
+				sign = -1
+			}
+			q := e.parabolic(i, sign)
+			if e.q[i-1] < q && q < e.q[i+1] {
+				e.q[i] = q
+			} else {
+				e.q[i] = e.linear(i, sign)
+			}
+			e.pos[i] += sign
+		}
+	}
+	e.n++
+}
+
+func (e *p2Quantile) parabolic(i int, d float64) float64 {
+	return e.q[i] + d/(e.pos[i+1]-e.pos[i-1])*
+		((e.pos[i]-e.pos[i-1]+d)*(e.q[i+1]-e.q[i])/(e.pos[i+1]-e.pos[i])+
+			(e.pos[i+1]-e.pos[i]-d)*(e.q[i]-e.q[i-1])/(e.pos[i]-e.pos[i-1]))
+}
+
+func (e *p2Quantile) linear(i int, d float64) float64 {
+	j := i + int(d)
+	return e.q[i] + d*(e.q[j]-e.q[i])/(e.pos[j]-e.pos[i])
+}
+
+func (e *p2Quantile) value() float64 {
+	if e.n == 0 {
+		return math.NaN()
+	}
+	if e.n < 5 {
+		// Exact small-sample median.
+		c := append([]float64(nil), e.q[:e.n]...)
+		sort.Float64s(c)
+		if e.n%2 == 1 {
+			return c[e.n/2]
+		}
+		return 0.5 * (c[e.n/2-1] + c[e.n/2])
+	}
+	return e.q[2]
+}

@@ -1,0 +1,104 @@
+package campaign
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestOnlineStatsExactMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 1000)
+	var o OnlineStats
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 10
+		o.Add(xs[i])
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(len(xs))
+	var m2 float64
+	for _, x := range xs {
+		m2 += (x - mean) * (x - mean)
+	}
+	wantVar := m2 / float64(len(xs)-1)
+
+	if o.Count() != len(xs) {
+		t.Errorf("count = %d", o.Count())
+	}
+	if math.Abs(o.Mean()-mean) > 1e-9 {
+		t.Errorf("mean = %v, want %v", o.Mean(), mean)
+	}
+	if math.Abs(o.Var()-wantVar) > 1e-9 {
+		t.Errorf("var = %v, want %v", o.Var(), wantVar)
+	}
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	if o.Min() != c[0] || o.Max() != c[len(c)-1] {
+		t.Errorf("min/max = %v/%v, want %v/%v", o.Min(), o.Max(), c[0], c[len(c)-1])
+	}
+	// P² is an estimator: for 1000 N(10,3) samples it should land well
+	// within a tenth of a standard deviation of the true median.
+	exact := 0.5 * (c[499] + c[500])
+	if math.Abs(o.Median()-exact) > 0.3 {
+		t.Errorf("P² median = %v, exact %v", o.Median(), exact)
+	}
+}
+
+func TestOnlineStatsSmallSamplesExactMedian(t *testing.T) {
+	// Below five values the median must be exact, matching harness.Median.
+	for _, xs := range [][]float64{{3}, {3, 1}, {5, 1, 3}, {4, 1, 3, 2}} {
+		var o OnlineStats
+		for _, x := range xs {
+			o.Add(x)
+		}
+		c := append([]float64(nil), xs...)
+		sort.Float64s(c)
+		var want float64
+		if len(c)%2 == 1 {
+			want = c[len(c)/2]
+		} else {
+			want = 0.5 * (c[len(c)/2-1] + c[len(c)/2])
+		}
+		if got := o.Median(); got != want {
+			t.Errorf("median(%v) = %v, want %v", xs, got, want)
+		}
+	}
+}
+
+func TestOnlineStatsEmpty(t *testing.T) {
+	var o OnlineStats
+	for name, v := range map[string]float64{
+		"mean": o.Mean(), "median": o.Median(), "min": o.Min(), "max": o.Max(), "var": o.Var(),
+	} {
+		if !math.IsNaN(v) {
+			t.Errorf("empty %s = %v, want NaN", name, v)
+		}
+	}
+}
+
+func TestP2MonotoneStream(t *testing.T) {
+	// On a 0..999 stream the median estimate must land near 500.
+	var o OnlineStats
+	for i := 0; i < 1000; i++ {
+		o.Add(float64(i))
+	}
+	if m := o.Median(); math.Abs(m-499.5) > 25 {
+		t.Errorf("median of 0..999 = %v, want ≈499.5", m)
+	}
+}
+
+func TestJSONFloatNaN(t *testing.T) {
+	if b, err := JSONFloat(math.NaN()).MarshalJSON(); err != nil || string(b) != "null" {
+		t.Errorf("NaN -> %s, %v; want null", b, err)
+	}
+	if b, err := JSONFloat(1.5).MarshalJSON(); err != nil || string(b) != "1.5" {
+		t.Errorf("1.5 -> %s, %v", b, err)
+	}
+	if b, err := JSONFloat(math.Inf(1)).MarshalJSON(); err != nil || string(b) != "null" {
+		t.Errorf("+Inf -> %s, %v; want null", b, err)
+	}
+}

@@ -1,0 +1,209 @@
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sync"
+
+	"robustify/internal/figures"
+	"robustify/internal/harness"
+)
+
+// Campaign is a compiled spec: the deterministic trial grid of a figure
+// plan (or custom sweep) ready for execution.
+type Campaign struct {
+	Spec Spec
+	Plan *figures.Plan
+}
+
+// Total is the number of trials in the full grid.
+func (c *Campaign) Total() int { return c.Plan.Size() }
+
+func unitTrials(u figures.Unit) int {
+	if u.Sweep.Trials <= 0 {
+		return 1
+	}
+	return u.Sweep.Trials
+}
+
+// TableFromStore materializes the campaign's table from whatever the store
+// currently holds: cells aggregate over their completed trials in
+// trial-index order, empty cells are omitted. Once every trial is
+// recorded, the result is byte-identical to an uninterrupted Plan.Build —
+// same values folded by the same aggregators in the same order.
+func (c *Campaign) TableFromStore(st *Store) *harness.Table {
+	t := c.Plan.Skeleton
+	t.Series = make([]harness.Series, len(c.Plan.Units))
+	for i, u := range c.Plan.Units {
+		agg, err := harness.AggregatorByName(u.Agg)
+		if err != nil {
+			agg = harness.Mean
+		}
+		trials := unitTrials(u)
+		var pts []harness.Point
+		for r, rate := range u.Sweep.Rates {
+			xs := st.CellValues(i, r, trials)
+			if len(xs) == 0 {
+				continue
+			}
+			pts = append(pts, harness.Point{Rate: rate, Value: agg(xs)})
+		}
+		t.Series[i] = harness.Series{Name: u.Series, Points: pts}
+	}
+	return &t
+}
+
+// Progress is a point-in-time completion snapshot.
+type Progress struct {
+	Done  int `json:"done"`
+	Total int `json:"total"`
+}
+
+// JSONFloat marshals like a float64 but encodes NaN and infinities as
+// null, so live statistics of empty cells survive JSON encoding.
+type JSONFloat float64
+
+// MarshalJSON implements json.Marshaler.
+func (f JSONFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if v != v || math.IsInf(v, 0) {
+		return []byte("null"), nil
+	}
+	return json.Marshal(v)
+}
+
+// CellStatus is the live view of one (series, rate) cell: completed-trial
+// count plus streaming statistics (exact mean/min/max, P² median
+// estimate). Final numbers come from TableFromStore, not from here.
+type CellStatus struct {
+	Rate   float64   `json:"rate"`
+	Done   int       `json:"done"`
+	Total  int       `json:"total"`
+	Mean   JSONFloat `json:"mean"`
+	Median JSONFloat `json:"median"`
+	Min    JSONFloat `json:"min"`
+	Max    JSONFloat `json:"max"`
+}
+
+// UnitStatus is the live view of one series.
+type UnitStatus struct {
+	Series string       `json:"series"`
+	Agg    string       `json:"agg"`
+	Cells  []CellStatus `json:"cells"`
+}
+
+// Execution runs a campaign against a store, tracking live per-cell
+// streaming statistics. It is safe to query (Progress, Status, Table)
+// while Run is executing on another goroutine.
+type Execution struct {
+	camp *Campaign
+	st   *Store
+
+	mu    sync.Mutex
+	stats [][]*OnlineStats // [unit][rateIdx]
+}
+
+// NewExecution prepares a run, folding any trials already in the store
+// into the live statistics (so a resumed campaign's status is complete).
+func NewExecution(camp *Campaign, st *Store) *Execution {
+	e := &Execution{camp: camp, st: st}
+	e.stats = make([][]*OnlineStats, len(camp.Plan.Units))
+	for i, u := range camp.Plan.Units {
+		e.stats[i] = make([]*OnlineStats, len(u.Sweep.Rates))
+		trials := unitTrials(u)
+		for r := range u.Sweep.Rates {
+			s := &OnlineStats{}
+			for _, v := range st.CellValues(i, r, trials) {
+				s.Add(v)
+			}
+			e.stats[i][r] = s
+		}
+	}
+	return e
+}
+
+// Run executes every unit in plan order. Trials already in the store are
+// served from it instead of re-executing (resume); every freshly executed
+// trial is appended to the store before counting as progress, so an
+// interrupt at any point loses no completed work. Cancelling ctx stops
+// between trials and returns ctx.Err().
+func (e *Execution) Run(ctx context.Context) error {
+	for i, u := range e.camp.Plan.Units {
+		unit, stats := i, e.stats[i]
+		var sinkErr error
+		var sinkMu sync.Mutex
+		hooks := harness.Hooks{
+			Lookup: func(rateIdx, trial int) (float64, bool) {
+				return e.st.Lookup(unit, rateIdx, trial)
+			},
+			Sink: func(t harness.Trial) {
+				if t.Cached {
+					return // already folded in (preloaded from the store)
+				}
+				if err := e.st.Append(Record{
+					Unit: unit, RateIdx: t.RateIdx, TrialIdx: t.TrialIdx,
+					Rate: t.Rate, Seed: t.Seed, Value: t.Value,
+					Series: e.camp.Plan.Units[unit].Series,
+				}); err != nil {
+					sinkMu.Lock()
+					if sinkErr == nil {
+						sinkErr = err
+					}
+					sinkMu.Unlock()
+					return
+				}
+				e.mu.Lock()
+				stats[t.RateIdx].Add(t.Value)
+				e.mu.Unlock()
+			},
+		}
+		sweep := u.Sweep
+		if e.camp.Spec.Workers > 0 {
+			sweep.Workers = e.camp.Spec.Workers
+		}
+		agg, err := harness.AggregatorByName(u.Agg)
+		if err != nil {
+			return err
+		}
+		if _, err := sweep.RunHooked(ctx, u.Fn, agg, hooks); err != nil {
+			return err
+		}
+		if sinkErr != nil {
+			return fmt.Errorf("campaign: record trial: %w", sinkErr)
+		}
+	}
+	return nil
+}
+
+// Progress reports completed vs total trials.
+func (e *Execution) Progress() Progress {
+	return Progress{Done: e.st.Count(), Total: e.camp.Total()}
+}
+
+// Status reports the live per-cell statistics of every unit.
+func (e *Execution) Status() []UnitStatus {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]UnitStatus, len(e.camp.Plan.Units))
+	for i, u := range e.camp.Plan.Units {
+		us := UnitStatus{Series: u.Series, Agg: u.Agg}
+		trials := unitTrials(u)
+		for r, rate := range u.Sweep.Rates {
+			s := e.stats[i][r]
+			us.Cells = append(us.Cells, CellStatus{
+				Rate: rate, Done: s.Count(), Total: trials,
+				Mean: JSONFloat(s.Mean()), Median: JSONFloat(s.Median()),
+				Min: JSONFloat(s.Min()), Max: JSONFloat(s.Max()),
+			})
+		}
+		out[i] = us
+	}
+	return out
+}
+
+// Table materializes the current results table.
+func (e *Execution) Table() *harness.Table {
+	return e.camp.TableFromStore(e.st)
+}

@@ -1,0 +1,343 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"robustify/internal/harness"
+)
+
+// Campaign lifecycle states.
+const (
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateDone      = "done"
+	StateFailed    = "failed"
+	StateCancelled = "cancelled"
+)
+
+// Status is the externally visible state of one managed campaign.
+type Status struct {
+	ID       string       `json:"id"`
+	Name     string       `json:"name"`
+	State    string       `json:"state"`
+	Error    string       `json:"error,omitempty"`
+	Spec     Spec         `json:"spec"`
+	Progress Progress     `json:"progress"`
+	Units    []UnitStatus `json:"units,omitempty"`
+	Created  time.Time    `json:"created"`
+	Started  *time.Time   `json:"started,omitempty"`
+	Finished *time.Time   `json:"finished,omitempty"`
+}
+
+type handle struct {
+	id      string
+	spec    Spec
+	camp    *Campaign
+	st      *Store
+	created time.Time
+
+	mu       sync.Mutex
+	exec     *Execution
+	cancel   context.CancelFunc
+	done     chan struct{}
+	state    string
+	err      error
+	started  *time.Time
+	finished *time.Time
+}
+
+// terminal reports whether the state is one no goroutine will leave.
+func terminal(state string) bool {
+	return state == StateDone || state == StateFailed || state == StateCancelled
+}
+
+// Manager schedules campaigns: each submitted spec is compiled, given a
+// store directory under root, and executed on its own goroutine, with the
+// number of simultaneously running campaigns bounded by slots. A cancelled
+// or failed campaign keeps its store and can be resumed in place.
+type Manager struct {
+	root  string
+	slots chan struct{}
+
+	mu     sync.Mutex
+	byID   map[string]*handle
+	order  []string
+	nextID int
+	closed bool
+}
+
+// NewManager creates a manager storing campaign results under root.
+// maxConcurrent bounds simultaneously running campaigns (<=0 means 4).
+func NewManager(root string, maxConcurrent int) *Manager {
+	if maxConcurrent <= 0 {
+		maxConcurrent = 4
+	}
+	return &Manager{
+		root:  root,
+		slots: make(chan struct{}, maxConcurrent),
+		byID:  make(map[string]*handle),
+	}
+}
+
+// Submit compiles the spec, opens its store, and schedules it. It returns
+// the campaign id immediately; execution proceeds in the background.
+func (m *Manager) Submit(spec Spec) (string, error) {
+	camp, err := Compile(spec)
+	if err != nil {
+		return "", err
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return "", fmt.Errorf("campaign: manager closed")
+	}
+	// Skip directories left by earlier daemon runs: reusing one would
+	// serve another grid's trials as cached values for this campaign.
+	var id string
+	for {
+		m.nextID++
+		id = fmt.Sprintf("c%04d", m.nextID)
+		if _, err := os.Stat(filepath.Join(m.root, id)); os.IsNotExist(err) {
+			break
+		}
+	}
+	m.mu.Unlock()
+
+	st, err := Open(filepath.Join(m.root, id))
+	if err != nil {
+		return "", err
+	}
+	if err := st.SaveSpec(spec); err != nil {
+		st.Close()
+		return "", err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	h := &handle{
+		id: id, spec: spec, camp: camp, st: st,
+		exec:    NewExecution(camp, st),
+		cancel:  cancel,
+		done:    make(chan struct{}),
+		created: time.Now(),
+		state:   StateQueued,
+	}
+	// Register and launch under m.mu so a concurrent Close either refuses
+	// this campaign here or sees it in byID and winds it down.
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		cancel()
+		st.Close()
+		return "", fmt.Errorf("campaign: manager closed")
+	}
+	m.byID[id] = h
+	m.order = append(m.order, id)
+	go m.run(ctx, h, h.done)
+	m.mu.Unlock()
+	return id, nil
+}
+
+// Resume reschedules a cancelled or failed campaign. Its store already
+// holds every completed trial, so only the remainder of the grid runs.
+func (m *Manager) Resume(id string) error {
+	h, err := m.handleByID(id)
+	if err != nil {
+		return err
+	}
+	h.mu.Lock()
+	state, done := h.state, h.done
+	h.mu.Unlock()
+	if state != StateCancelled && state != StateFailed {
+		return fmt.Errorf("campaign: %s is %s; only cancelled or failed campaigns resume", id, state)
+	}
+	<-done // the previous run goroutine has fully exited
+
+	ctx, cancel := context.WithCancel(context.Background())
+	// Launch under m.mu so Close, which sets closed under the same lock
+	// before cancelling handles, either refuses this resume or sees its
+	// fresh cancel/done pair.
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		cancel()
+		return fmt.Errorf("campaign: manager closed")
+	}
+	h.mu.Lock()
+	if h.state != StateCancelled && h.state != StateFailed { // lost a race with another Resume
+		h.mu.Unlock()
+		cancel()
+		return fmt.Errorf("campaign: %s already resumed", id)
+	}
+	h.state = StateQueued
+	h.err = nil
+	h.finished = nil
+	h.exec = NewExecution(h.camp, h.st)
+	h.cancel = cancel
+	h.done = make(chan struct{})
+	done = h.done
+	h.mu.Unlock()
+
+	go m.run(ctx, h, done)
+	return nil
+}
+
+func (m *Manager) run(ctx context.Context, h *handle, done chan struct{}) {
+	defer close(done)
+	select {
+	case m.slots <- struct{}{}:
+		defer func() { <-m.slots }()
+	case <-ctx.Done():
+		h.finish(StateCancelled, nil)
+		return
+	}
+	now := time.Now()
+	h.mu.Lock()
+	h.state = StateRunning
+	h.started = &now
+	exec := h.exec
+	h.mu.Unlock()
+
+	err := exec.Run(ctx)
+	switch {
+	case err == nil:
+		h.finish(StateDone, nil)
+	case ctx.Err() != nil:
+		h.finish(StateCancelled, nil)
+	default:
+		h.finish(StateFailed, err)
+	}
+}
+
+func (h *handle) finish(state string, err error) {
+	now := time.Now()
+	h.mu.Lock()
+	h.state = state
+	h.err = err
+	h.finished = &now
+	h.mu.Unlock()
+}
+
+func (h *handle) status(withUnits bool) Status {
+	h.mu.Lock()
+	s := Status{
+		ID:       h.id,
+		Name:     h.spec.Title(),
+		State:    h.state,
+		Spec:     h.spec,
+		Created:  h.created,
+		Started:  h.started,
+		Finished: h.finished,
+	}
+	if h.err != nil {
+		s.Error = h.err.Error()
+	}
+	exec := h.exec
+	h.mu.Unlock()
+	s.Progress = exec.Progress()
+	if withUnits {
+		s.Units = exec.Status()
+	}
+	return s
+}
+
+func (m *Manager) handleByID(id string) (*handle, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.byID[id]
+	if !ok {
+		return nil, fmt.Errorf("campaign: unknown campaign %q", id)
+	}
+	return h, nil
+}
+
+// List returns the status of every campaign in submission order.
+func (m *Manager) List() []Status {
+	m.mu.Lock()
+	ids := append([]string(nil), m.order...)
+	m.mu.Unlock()
+	out := make([]Status, 0, len(ids))
+	for _, id := range ids {
+		if h, err := m.handleByID(id); err == nil {
+			out = append(out, h.status(false))
+		}
+	}
+	return out
+}
+
+// Get returns one campaign's status with live per-cell statistics.
+func (m *Manager) Get(id string) (Status, error) {
+	h, err := m.handleByID(id)
+	if err != nil {
+		return Status{}, err
+	}
+	return h.status(true), nil
+}
+
+// Cancel stops a running (or queued) campaign. Completed trials stay in
+// the store; Resume picks up where it left off.
+func (m *Manager) Cancel(id string) error {
+	h, err := m.handleByID(id)
+	if err != nil {
+		return err
+	}
+	h.mu.Lock()
+	cancel := h.cancel
+	h.mu.Unlock()
+	cancel()
+	return nil
+}
+
+// Table materializes the campaign's current results table; valid at any
+// point mid-run.
+func (m *Manager) Table(id string) (*harness.Table, error) {
+	h, err := m.handleByID(id)
+	if err != nil {
+		return nil, err
+	}
+	return h.camp.TableFromStore(h.st), nil
+}
+
+// Wait blocks until the campaign's current run reaches a terminal state
+// and returns its error, if any.
+func (m *Manager) Wait(id string) error {
+	h, err := m.handleByID(id)
+	if err != nil {
+		return err
+	}
+	h.mu.Lock()
+	done := h.done
+	h.mu.Unlock()
+	<-done
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.err
+}
+
+// Close cancels every campaign, waits for them to wind down, and closes
+// their stores.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	m.closed = true
+	handles := make([]*handle, 0, len(m.byID))
+	for _, h := range m.byID {
+		handles = append(handles, h)
+	}
+	m.mu.Unlock()
+	for _, h := range handles {
+		h.mu.Lock()
+		cancel := h.cancel
+		h.mu.Unlock()
+		cancel()
+	}
+	for _, h := range handles {
+		h.mu.Lock()
+		done := h.done
+		h.mu.Unlock()
+		<-done
+		h.st.Close()
+	}
+}

@@ -1,0 +1,57 @@
+package campaign
+
+import (
+	"testing"
+)
+
+func quickSpec(rate float64, seed uint64, trials int) Spec {
+	return Spec{
+		Custom: &CustomSweep{Workload: "sort/base", Rates: []float64{rate}},
+		Trials: trials, Seed: seed,
+	}
+}
+
+// TestManagerRestartDoesNotReuseStores pins the restart behavior: a new
+// manager over an old data directory must never hand a fresh campaign a
+// previous run's store, whose records would be served as cached trials
+// for a different grid.
+func TestManagerRestartDoesNotReuseStores(t *testing.T) {
+	root := t.TempDir()
+	m1 := NewManager(root, 1)
+	id1, err := m1.Submit(quickSpec(0.01, 1, 1))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if err := m1.Wait(id1); err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	m1.Close()
+
+	m2 := NewManager(root, 1)
+	defer m2.Close()
+	id2, err := m2.Submit(quickSpec(0.5, 99, 3))
+	if err != nil {
+		t.Fatalf("submit after restart: %v", err)
+	}
+	if id2 == id1 {
+		t.Fatalf("restarted manager reused campaign id %s (and its store)", id1)
+	}
+	if err := m2.Wait(id2); err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	st, err := m2.Get(id2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Progress.Done != 3 || st.Progress.Total != 3 {
+		t.Errorf("new campaign progress = %+v, want 3/3 freshly executed trials", st.Progress)
+	}
+}
+
+func TestManagerSubmitAfterClose(t *testing.T) {
+	m := NewManager(t.TempDir(), 1)
+	m.Close()
+	if _, err := m.Submit(quickSpec(0.01, 1, 1)); err == nil {
+		t.Error("submit after close accepted")
+	}
+}

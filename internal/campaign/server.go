@@ -1,0 +1,150 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"robustify/internal/harness"
+)
+
+// NewServer wraps a Manager in the robustd HTTP API:
+//
+//	POST   /campaigns               submit a Spec (JSON body) -> {"id": ...}
+//	GET    /campaigns               list campaigns with progress
+//	GET    /campaigns/{id}          status with live per-cell statistics
+//	GET    /campaigns/{id}/results  materialized table; ?format=text|csv|json
+//	POST   /campaigns/{id}/cancel   stop; completed trials stay durable
+//	POST   /campaigns/{id}/resume   reschedule a cancelled/failed campaign
+//	GET    /workloads               custom-sweep workload registry
+//	GET    /healthz                 liveness
+func NewServer(m *Manager) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /campaigns", func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		spec, err := ParseSpec(body)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		id, err := m.Submit(spec)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, map[string]string{"id": id})
+	})
+
+	mux.HandleFunc("GET /campaigns", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.List())
+	})
+
+	mux.HandleFunc("GET /campaigns/{id}", func(w http.ResponseWriter, r *http.Request) {
+		status, err := m.Get(r.PathValue("id"))
+		if err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, status)
+	})
+
+	mux.HandleFunc("GET /campaigns/{id}/results", func(w http.ResponseWriter, r *http.Request) {
+		table, err := m.Table(r.PathValue("id"))
+		if err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		switch format := r.URL.Query().Get("format"); format {
+		case "", "text":
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			table.Render(w)
+		case "csv":
+			w.Header().Set("Content-Type", "text/csv")
+			table.CSV(w)
+		case "json":
+			writeJSON(w, http.StatusOK, tableJSON(table))
+		default:
+			httpError(w, http.StatusBadRequest, fmt.Errorf("unknown format %q (want text, csv, or json)", format))
+		}
+	})
+
+	mux.HandleFunc("POST /campaigns/{id}/cancel", func(w http.ResponseWriter, r *http.Request) {
+		if err := m.Cancel(r.PathValue("id")); err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "cancelling"})
+	})
+
+	mux.HandleFunc("POST /campaigns/{id}/resume", func(w http.ResponseWriter, r *http.Request) {
+		if err := m.Resume(r.PathValue("id")); err != nil {
+			httpError(w, http.StatusConflict, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, map[string]string{"status": "resuming"})
+	})
+
+	mux.HandleFunc("GET /workloads", func(w http.ResponseWriter, r *http.Request) {
+		type wl struct {
+			Name         string `json:"name"`
+			Desc         string `json:"desc"`
+			DefaultIters int    `json:"default_iters,omitempty"`
+		}
+		var out []wl
+		for _, item := range Workloads() {
+			out = append(out, wl{Name: item.Name, Desc: item.Desc, DefaultIters: item.DefaultIters})
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// tableJSON is the wire form of a results table.
+func tableJSON(t *harness.Table) map[string]any {
+	type point struct {
+		Rate  float64   `json:"rate"`
+		Value JSONFloat `json:"value"`
+	}
+	type series struct {
+		Name   string  `json:"name"`
+		Points []point `json:"points"`
+	}
+	out := make([]series, 0, len(t.Series))
+	for _, s := range t.Series {
+		ps := make([]point, 0, len(s.Points))
+		for _, p := range s.Points {
+			ps = append(ps, point{Rate: p.Rate, Value: JSONFloat(p.Value)})
+		}
+		out = append(out, series{Name: s.Name, Points: ps})
+	}
+	return map[string]any{
+		"title":  t.Title,
+		"xlabel": t.XLabel,
+		"ylabel": t.YLabel,
+		"notes":  t.Notes,
+		"series": out,
+	}
+}

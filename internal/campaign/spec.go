@@ -1,0 +1,163 @@
+// Package campaign turns fault-injection sweeps into durable, resumable,
+// queryable artifacts. A campaign is a declarative Spec compiled to a
+// deterministic trial grid (via the figure sweep plans or a custom
+// workload); an engine executes the grid with sharded workers, appends
+// every completed trial to a JSONL results store, and can resume an
+// interrupted run to a byte-identical final table. A Manager schedules
+// concurrent campaigns and backs the robustd HTTP service.
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"robustify/internal/figures"
+	"robustify/internal/harness"
+)
+
+// Spec declares a campaign. Exactly one of Figure or Custom selects the
+// workload; the rest scales and seeds the grid. Specs round-trip through
+// JSON and are persisted next to the results they produced, so a store
+// is self-describing.
+type Spec struct {
+	// Name is a human label; it defaults to the figure or workload id.
+	Name string `json:"name,omitempty"`
+	// Figure selects a sweep-shaped figure plan (see figures.PlanIDs).
+	Figure string `json:"figure,omitempty"`
+	// Custom selects a registered workload with an explicit rate grid.
+	Custom *CustomSweep `json:"custom,omitempty"`
+	// Trials per cell (0 = figure default, or 10 for custom sweeps).
+	Trials int `json:"trials,omitempty"`
+	// Seed derives every trial seed; same spec, same results.
+	Seed uint64 `json:"seed"`
+	// Workers bounds trial parallelism (0 = GOMAXPROCS). Scheduling
+	// only — it never changes results.
+	Workers int `json:"workers,omitempty"`
+	// Quick selects the scaled-down figure variants.
+	Quick bool `json:"quick,omitempty"`
+}
+
+// CustomSweep sweeps one registered workload over an explicit rate grid.
+type CustomSweep struct {
+	// Workload names a registered trial function (see Workloads).
+	Workload string `json:"workload"`
+	// Rates are fault rates in faults per FLOP.
+	Rates []float64 `json:"rates"`
+	// Iters scales iterative workloads (0 = workload default).
+	Iters int `json:"iters,omitempty"`
+	// Agg is the cell aggregator: "mean" (default) or "median".
+	Agg string `json:"agg,omitempty"`
+}
+
+// Validate checks the spec without compiling it.
+func (s *Spec) Validate() error {
+	switch {
+	case s.Figure == "" && s.Custom == nil:
+		return fmt.Errorf("campaign: spec needs a figure or a custom sweep")
+	case s.Figure != "" && s.Custom != nil:
+		return fmt.Errorf("campaign: figure and custom sweep are mutually exclusive")
+	case s.Trials < 0:
+		return fmt.Errorf("campaign: negative trials")
+	case s.Workers < 0:
+		return fmt.Errorf("campaign: negative workers")
+	}
+	if s.Figure != "" {
+		if figures.Lookup(s.Figure) == nil {
+			return fmt.Errorf("campaign: unknown figure %q", s.Figure)
+		}
+		if !figures.HasPlan(s.Figure) {
+			return fmt.Errorf("campaign: figure %q is not sweep-shaped (no campaign plan); campaignable figures: %v",
+				s.Figure, figures.PlanIDs())
+		}
+		return nil
+	}
+	c := s.Custom
+	if _, err := workloadByName(c.Workload); err != nil {
+		return err
+	}
+	if len(c.Rates) == 0 {
+		return fmt.Errorf("campaign: custom sweep needs at least one rate")
+	}
+	for _, r := range c.Rates {
+		if r < 0 || r != r {
+			return fmt.Errorf("campaign: invalid fault rate %v", r)
+		}
+	}
+	if c.Iters < 0 {
+		return fmt.Errorf("campaign: negative iters")
+	}
+	if _, err := harness.AggregatorByName(c.Agg); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Title returns the display name of the campaign.
+func (s *Spec) Title() string {
+	if s.Name != "" {
+		return s.Name
+	}
+	if s.Figure != "" {
+		return "fig-" + s.Figure
+	}
+	if s.Custom != nil {
+		return s.Custom.Workload
+	}
+	return "campaign"
+}
+
+// ParseSpec decodes and validates a JSON spec, rejecting unknown fields so
+// typos surface at submit time instead of silently running the defaults.
+func ParseSpec(data []byte) (Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("campaign: bad spec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// Compile resolves the spec to its deterministic trial grid.
+func Compile(spec Spec) (*Campaign, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	var plan *figures.Plan
+	if spec.Figure != "" {
+		plan = figures.PlanFor(spec.Figure, figures.Config{
+			Trials:  spec.Trials,
+			Seed:    spec.Seed,
+			Quick:   spec.Quick,
+			Workers: spec.Workers,
+		})
+	} else {
+		var err error
+		plan, err = customPlan(spec)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Campaign{Spec: spec, Plan: plan}, nil
+}
+
+// specKey is the identity of a spec for resume compatibility: two specs
+// with equal keys compile to the same trial grid. Workers is excluded —
+// it only schedules.
+func specKey(s Spec) string {
+	s.Workers = 0
+	s.Name = ""
+	b, _ := json.Marshal(s)
+	return string(b)
+}
+
+// ResumeCompatible reports whether a stored spec and a requested spec
+// compile to the same trial grid, i.e. whether resuming is sound. Name
+// and Workers may differ — they don't shape the grid.
+func ResumeCompatible(a, b Spec) bool {
+	return specKey(a) == specKey(b)
+}

@@ -1,0 +1,103 @@
+package campaign
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSpecValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+		want string // substring of the error, "" = valid
+	}{
+		{"figure ok", Spec{Figure: "6.1"}, ""},
+		{"custom ok", Spec{Custom: &CustomSweep{Workload: "sort/base", Rates: []float64{0.1}}}, ""},
+		{"neither", Spec{}, "needs a figure or a custom sweep"},
+		{"both", Spec{Figure: "6.1", Custom: &CustomSweep{Workload: "sort/base", Rates: []float64{0.1}}}, "mutually exclusive"},
+		{"unknown figure", Spec{Figure: "99.9"}, "unknown figure"},
+		{"unplannable figure", Spec{Figure: "5.1"}, "not sweep-shaped"},
+		{"unknown workload", Spec{Custom: &CustomSweep{Workload: "nope", Rates: []float64{0.1}}}, "unknown workload"},
+		{"no rates", Spec{Custom: &CustomSweep{Workload: "sort/base"}}, "at least one rate"},
+		{"negative rate", Spec{Custom: &CustomSweep{Workload: "sort/base", Rates: []float64{-1}}}, "invalid fault rate"},
+		{"bad agg", Spec{Custom: &CustomSweep{Workload: "sort/base", Rates: []float64{0.1}, Agg: "p99"}}, "unknown aggregator"},
+		{"negative trials", Spec{Figure: "6.1", Trials: -1}, "negative trials"},
+		{"negative workers", Spec{Figure: "6.1", Workers: -1}, "negative workers"},
+	}
+	for _, tc := range cases {
+		err := tc.spec.Validate()
+		if tc.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestParseSpecRejectsUnknownFields(t *testing.T) {
+	if _, err := ParseSpec([]byte(`{"figure":"6.1","trails":5}`)); err == nil {
+		t.Error("typo field accepted")
+	}
+	spec, err := ParseSpec([]byte(`{"figure":"6.1","trials":5,"seed":3,"quick":true}`))
+	if err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	if spec.Figure != "6.1" || spec.Trials != 5 || spec.Seed != 3 || !spec.Quick {
+		t.Errorf("parsed spec = %+v", spec)
+	}
+}
+
+func TestResumeCompatible(t *testing.T) {
+	a := Spec{Figure: "6.1", Trials: 3, Seed: 7, Quick: true}
+	b := a
+	b.Workers = 8
+	b.Name = "renamed"
+	if !ResumeCompatible(a, b) {
+		t.Error("workers/name must not affect resume compatibility")
+	}
+	c := a
+	c.Seed = 8
+	if ResumeCompatible(a, c) {
+		t.Error("different seed must be incompatible")
+	}
+	d := a
+	d.Trials = 4
+	if ResumeCompatible(a, d) {
+		t.Error("different trials must be incompatible")
+	}
+}
+
+func TestCompileGrid(t *testing.T) {
+	camp, err := Compile(Spec{Figure: "6.1", Quick: true, Trials: 2, Seed: 1})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	// Quick 6.1: 4 series × 3 rates × 2 trials.
+	if got := camp.Total(); got != 24 {
+		t.Errorf("total = %d, want 24", got)
+	}
+	if len(camp.Plan.Units) != 4 {
+		t.Errorf("units = %d, want 4", len(camp.Plan.Units))
+	}
+	// The grid seeds must match the sweep derivation exactly.
+	u := camp.Plan.Units[0]
+	if got, want := u.Sweep.TrialSeed(1, 1), u.Sweep.TrialSeed(1, 1); got != want {
+		t.Errorf("trial seed unstable: %d vs %d", got, want)
+	}
+}
+
+func TestSpecTitle(t *testing.T) {
+	if got := (&Spec{Figure: "6.1"}).Title(); got != "fig-6.1" {
+		t.Errorf("figure title = %q", got)
+	}
+	if got := (&Spec{Name: "x", Figure: "6.1"}).Title(); got != "x" {
+		t.Errorf("named title = %q", got)
+	}
+	if got := (&Spec{Custom: &CustomSweep{Workload: "sort/base"}}).Title(); got != "sort/base" {
+		t.Errorf("custom title = %q", got)
+	}
+}

@@ -1,0 +1,178 @@
+package campaign
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// storeFile and specFile are the on-disk layout of one campaign directory.
+const (
+	storeFile = "trials.jsonl"
+	specFile  = "spec.json"
+)
+
+// Record is one completed trial, one JSON line in the store. The
+// (Unit, RateIdx, TrialIdx) triple is the trial key: together with the
+// spec it pins the trial's seed, so a record is replayable and duplicate
+// keys are collapsed on load (values of duplicates are identical by
+// construction — trials are deterministic in their seed).
+type Record struct {
+	Unit     int     `json:"u"`
+	RateIdx  int     `json:"r"`
+	TrialIdx int     `json:"t"`
+	Rate     float64 `json:"rate"`
+	Seed     uint64  `json:"seed"`
+	Value    float64 `json:"v"`
+	// Series is informational (the unit's series name at write time).
+	Series string `json:"s,omitempty"`
+}
+
+type trialKey struct{ unit, rateIdx, trialIdx int }
+
+// Store is an append-only JSONL results store for one campaign. Every
+// Append is flushed to the OS before it returns, so each completed trial
+// is a durable checkpoint; a crash can lose at most the line being
+// written, and Open tolerates (and drops) a torn trailing line.
+type Store struct {
+	dir string
+
+	mu   sync.Mutex
+	f    *os.File
+	w    *bufio.Writer
+	have map[trialKey]float64
+}
+
+// Open creates (or reopens) the campaign directory and loads every record
+// already present, deduplicating by trial key.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("campaign: store dir: %w", err)
+	}
+	path := filepath.Join(dir, storeFile)
+	st := &Store{dir: dir, have: make(map[trialKey]float64)}
+	if data, err := os.Open(path); err == nil {
+		sc := bufio.NewScanner(data)
+		sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+		for sc.Scan() {
+			var rec Record
+			if json.Unmarshal(sc.Bytes(), &rec) != nil {
+				continue // torn or corrupt line: drop, the trial will rerun
+			}
+			st.have[trialKey{rec.Unit, rec.RateIdx, rec.TrialIdx}] = rec.Value
+		}
+		closeErr := data.Close()
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("campaign: read store: %w", err)
+		}
+		if closeErr != nil {
+			return nil, closeErr
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st.f = f
+	st.w = bufio.NewWriter(f)
+	return st, nil
+}
+
+// Dir returns the campaign directory backing the store.
+func (st *Store) Dir() string { return st.dir }
+
+// Append records one completed trial and flushes it.
+func (st *Store) Append(rec Record) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	key := trialKey{rec.Unit, rec.RateIdx, rec.TrialIdx}
+	if _, dup := st.have[key]; dup {
+		return nil // already durable; keep the store free of duplicates
+	}
+	if _, err := st.w.Write(append(line, '\n')); err != nil {
+		return err
+	}
+	if err := st.w.Flush(); err != nil {
+		return err
+	}
+	st.have[key] = rec.Value
+	return nil
+}
+
+// Lookup returns the recorded value for a trial key of one unit.
+func (st *Store) Lookup(unit, rateIdx, trialIdx int) (float64, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	v, ok := st.have[trialKey{unit, rateIdx, trialIdx}]
+	return v, ok
+}
+
+// Count is the number of distinct completed trials in the store.
+func (st *Store) Count() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.have)
+}
+
+// CellValues returns the recorded values of one (unit, rateIdx) cell in
+// trial-index order, skipping gaps — exactly the slice an aggregator
+// would have seen for the completed prefix.
+func (st *Store) CellValues(unit, rateIdx, trials int) []float64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var xs []float64
+	for t := 0; t < trials; t++ {
+		if v, ok := st.have[trialKey{unit, rateIdx, t}]; ok {
+			xs = append(xs, v)
+		}
+	}
+	return xs
+}
+
+// SaveSpec persists the campaign spec beside the results.
+func (st *Store) SaveSpec(spec Spec) error {
+	b, err := json.MarshalIndent(spec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(st.dir, specFile), append(b, '\n'), 0o644)
+}
+
+// LoadSpec reads a previously saved spec; ok is false when none exists.
+func (st *Store) LoadSpec() (spec Spec, ok bool, err error) {
+	b, err := os.ReadFile(filepath.Join(st.dir, specFile))
+	if os.IsNotExist(err) {
+		return Spec{}, false, nil
+	}
+	if err != nil {
+		return Spec{}, false, err
+	}
+	if err := json.Unmarshal(b, &spec); err != nil {
+		return Spec{}, false, fmt.Errorf("campaign: corrupt %s: %w", specFile, err)
+	}
+	return spec, true, nil
+}
+
+// Close flushes and closes the store file.
+func (st *Store) Close() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.f == nil {
+		return nil
+	}
+	err := st.w.Flush()
+	if cerr := st.f.Close(); err == nil {
+		err = cerr
+	}
+	st.f = nil
+	return err
+}

@@ -1,0 +1,172 @@
+package campaign
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"robustify/internal/apps/eigen"
+	"robustify/internal/apps/robsort"
+	"robustify/internal/figures"
+	"robustify/internal/fpu"
+	"robustify/internal/harness"
+	"robustify/internal/linalg"
+	"robustify/internal/solver"
+)
+
+// Workload is a named trial function available to custom sweeps.
+type Workload struct {
+	Name string
+	Desc string
+	// DefaultIters scales the workload when the spec leaves Iters at 0.
+	DefaultIters int
+	// Build returns the trial function. Every per-trial random choice
+	// derives from the trial seed, so the workload is replayable.
+	Build func(iters int) harness.TrialFunc
+}
+
+// Workloads lists the registered custom-sweep workloads.
+func Workloads() []Workload {
+	sortData := func(seed uint64) []float64 {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		data := make([]float64, 5)
+		for i, p := range rng.Perm(5) {
+			data[i] = float64(p+1) * 2.5
+		}
+		return data
+	}
+	return []Workload{
+		{
+			Name: "sort/base", Desc: "quicksort success rate (5-element arrays)",
+			DefaultIters: 0,
+			Build: func(int) harness.TrialFunc {
+				return func(rate float64, seed uint64) float64 {
+					data := sortData(seed)
+					u := fpu.New(fpu.WithFaultRate(rate, seed))
+					return b2f(robsort.Success(robsort.Baseline(u, data), data))
+				}
+			},
+		},
+		{
+			Name: "sort/robust", Desc: "robust SGD sort success rate (SGD+AS,SQS with tail averaging)",
+			DefaultIters: 10000,
+			Build: func(iters int) harness.TrialFunc {
+				return func(rate float64, seed uint64) float64 {
+					data := sortData(seed)
+					u := fpu.New(fpu.WithFaultRate(rate, seed))
+					out, _, err := robsort.Robust(u, data, robsort.Options{
+						Iters:      iters,
+						Schedule:   solver.Sqrt(0.5 / 5),
+						Aggressive: solver.DefaultAggressive(),
+						Tail:       iters / 5,
+					})
+					if err != nil {
+						return 0
+					}
+					return b2f(robsort.Success(out, data))
+				}
+			},
+		},
+		{
+			Name: "eigen/power", Desc: "power-iteration dominant-eigenvalue relative error (n=6)",
+			DefaultIters: 300,
+			Build: func(iters int) harness.TrialFunc {
+				return func(rate float64, seed uint64) float64 {
+					m, want := eigenInstance(seed)
+					u := fpu.New(fpu.WithFaultRate(rate, seed))
+					lambda, _ := eigen.PowerIteration(u, m, iters)
+					return eigenScore(lambda, want)
+				}
+			},
+		},
+		{
+			Name: "eigen/robust", Desc: "robust Rayleigh-ascent dominant-eigenvalue relative error (n=6)",
+			DefaultIters: 2000,
+			Build: func(iters int) harness.TrialFunc {
+				return func(rate float64, seed uint64) float64 {
+					m, want := eigenInstance(seed)
+					u := fpu.New(fpu.WithFaultRate(rate, seed))
+					lambda, _, err := eigen.TopEigen(u, m, eigen.Options{Iters: iters})
+					if err != nil {
+						return 1e6
+					}
+					return eigenScore(lambda, want)
+				}
+			},
+		},
+	}
+}
+
+func workloadByName(name string) (Workload, error) {
+	for _, w := range Workloads() {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return Workload{}, fmt.Errorf("campaign: unknown workload %q", name)
+}
+
+// customPlan compiles a custom sweep to a single-unit figure plan so the
+// engine treats figures and custom sweeps identically.
+func customPlan(spec Spec) (*figures.Plan, error) {
+	w, err := workloadByName(spec.Custom.Workload)
+	if err != nil {
+		return nil, err
+	}
+	iters := spec.Custom.Iters
+	if iters <= 0 {
+		iters = w.DefaultIters
+	}
+	trials := spec.Trials
+	if trials <= 0 {
+		trials = 10
+	}
+	agg := spec.Custom.Agg
+	if agg == "" {
+		agg = "mean"
+	}
+	return &figures.Plan{
+		ID: "custom:" + w.Name,
+		Skeleton: harness.Table{
+			Title:  fmt.Sprintf("custom sweep: %s (%s)", w.Name, w.Desc),
+			YLabel: w.Desc,
+		},
+		Units: []figures.Unit{{
+			Series: w.Name,
+			Agg:    agg,
+			Sweep: harness.Sweep{
+				Rates:   append([]float64(nil), spec.Custom.Rates...),
+				Trials:  trials,
+				Seed:    spec.Seed,
+				Workers: spec.Workers,
+			},
+			Fn: w.Build(iters),
+		}},
+	}, nil
+}
+
+// eigenInstance derives a per-trial symmetric matrix whose dominant
+// eigenvalue is n by construction (mirrors figures.Eigenpairs).
+func eigenInstance(seed uint64) (*linalg.Dense, float64) {
+	const n = 6
+	rng := rand.New(rand.NewSource(int64(seed)))
+	return eigen.RandomSymmetric(rng, n), float64(n)
+}
+
+func eigenScore(lambda, want float64) float64 {
+	if lambda != lambda || math.IsInf(lambda, 0) {
+		return 1e6
+	}
+	v := math.Abs(lambda-want) / want
+	if v != v || v > 1e6 {
+		return 1e6
+	}
+	return v
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

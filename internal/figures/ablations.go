@@ -19,7 +19,9 @@ import (
 // (success rate) and robust least-squares-free IIR-style SGD is already
 // covered elsewhere, so the second workload here is the SVM trainer
 // (held-out accuracy).
-func FaultModelAblation(c Config) *harness.Table {
+func FaultModelAblation(c Config) *harness.Table { return planFaultModel(c).Build() }
+
+func planFaultModel(c Config) *Plan {
 	iters := 10000
 	if c.Quick {
 		iters = 2000
@@ -29,19 +31,19 @@ func FaultModelAblation(c Config) *harness.Table {
 	if c.Quick {
 		rates = []float64{0.05, 0.5}
 	}
-	sweep := harness.Sweep{Rates: rates, Trials: trials, Seed: c.Seed + 71}
+	sweep := harness.Sweep{Rates: rates, Trials: trials, Seed: c.Seed + 71, Workers: c.Workers}
 	dists := []fpu.BitDistribution{
 		fpu.EmulatedDistribution(),
 		fpu.MeasuredDistribution(),
 		fpu.LowOrderDistribution(),
 		fpu.UniformDistribution(),
 	}
-	var series []harness.Series
+	var units []Unit
 	for _, d := range dists {
 		dist := d
-		series = append(series, harness.Series{
-			Name: "sort/" + dist.Name(),
-			Points: sweep.Run(func(rate float64, seed uint64) float64 {
+		units = append(units, Unit{
+			Series: "sort/" + dist.Name(), Agg: "mean", Sweep: sweep,
+			Fn: func(rate float64, seed uint64) float64 {
 				rng := rand.New(rand.NewSource(int64(seed)))
 				data := make([]float64, 5)
 				for i, p := range rng.Perm(5) {
@@ -56,23 +58,28 @@ func FaultModelAblation(c Config) *harness.Table {
 					return 0
 				}
 				return b2f(robsort.Success(out, data))
-			}),
+			},
 		})
 	}
-	return &harness.Table{
-		Title:  fmt.Sprintf("Ch.7 ablation: robust sort success under different fault models (%d iterations)", iters),
-		YLabel: "success rate",
-		Series: series,
-		Notes: []string{
-			"with the magnitude guard (reliable range check at 1e3), mantissa-dominated models stay correct; uniform faults (17% exponent-bit mass, unbounded errors) remain the worst case",
+	return &Plan{
+		ID: "faultmodel",
+		Skeleton: harness.Table{
+			Title:  fmt.Sprintf("Ch.7 ablation: robust sort success under different fault models (%d iterations)", iters),
+			YLabel: "success rate",
+			Notes: []string{
+				"with the magnitude guard (reliable range check at 1e3), mantissa-dominated models stay correct; uniform faults (17% exponent-bit mass, unbounded errors) remain the worst case",
+			},
 		},
+		Units: units,
 	}
 }
 
 // PenaltyAblation measures the ℓ1-vs-quadratic exact penalty design choice
 // on the two graph LPs, where the quadratic form's finite-μ bias is
 // structural (it telescopes along shortest-path chains and flow paths).
-func PenaltyAblation(c Config) *harness.Table {
+func PenaltyAblation(c Config) *harness.Table { return planPenalty(c).Build() }
+
+func planPenalty(c Config) *Plan {
 	iters := 20000
 	if c.Quick {
 		iters = 4000
@@ -82,7 +89,7 @@ func PenaltyAblation(c Config) *harness.Table {
 	if c.Quick {
 		rates = []float64{0, 0.05}
 	}
-	sweep := harness.Sweep{Rates: rates, Trials: trials, Seed: c.Seed + 72}
+	sweep := harness.Sweep{Rates: rates, Trials: trials, Seed: c.Seed + 72, Workers: c.Workers}
 
 	rngA := rand.New(rand.NewSource(int64(c.Seed) + 720))
 	apspInst := apsp.RandomInstance(rngA, 6, 8, 5)
@@ -109,24 +116,29 @@ func PenaltyAblation(c Config) *harness.Table {
 			return capErr(flowInst.RelErr(value))
 		}
 	}
-	return &harness.Table{
-		Title:  fmt.Sprintf("Design ablation: exact penalty form on the graph LPs (%d iterations)", iters),
-		YLabel: "mean relative error (lower is better)",
-		Series: []harness.Series{
-			{Name: "apsp/abs", Points: sweep.RunMedian(apspRun(core.PenaltyAbs))},
-			{Name: "apsp/quad", Points: sweep.RunMedian(apspRun(core.PenaltyQuad))},
-			{Name: "maxflow/abs", Points: sweep.RunMedian(flowRun(core.PenaltyAbs))},
-			{Name: "maxflow/quad", Points: sweep.RunMedian(flowRun(core.PenaltyQuad))},
+	return &Plan{
+		ID: "penalty",
+		Skeleton: harness.Table{
+			Title:  fmt.Sprintf("Design ablation: exact penalty form on the graph LPs (%d iterations)", iters),
+			YLabel: "mean relative error (lower is better)",
+			Notes: []string{
+				"the quadratic penalty's finite-mu constraint overshoot telescopes along path/flow chains; the l1 penalty is exact at finite mu (Theorem 2)",
+			},
 		},
-		Notes: []string{
-			"the quadratic penalty's finite-mu constraint overshoot telescopes along path/flow chains; the l1 penalty is exact at finite mu (Theorem 2)",
+		Units: []Unit{
+			{Series: "apsp/abs", Agg: "median", Sweep: sweep, Fn: apspRun(core.PenaltyAbs)},
+			{Series: "apsp/quad", Agg: "median", Sweep: sweep, Fn: apspRun(core.PenaltyQuad)},
+			{Series: "maxflow/abs", Agg: "median", Sweep: sweep, Fn: flowRun(core.PenaltyAbs)},
+			{Series: "maxflow/quad", Agg: "median", Sweep: sweep, Fn: flowRun(core.PenaltyQuad)},
 		},
 	}
 }
 
 // SVMExtension measures the §4.7 SVM workload: robust Pegasos-style
 // training against the mistake-driven perceptron baseline.
-func SVMExtension(c Config) *harness.Table {
+func SVMExtension(c Config) *harness.Table { return planSVM(c).Build() }
+
+func planSVM(c Config) *Plan {
 	iters := 2000
 	if c.Quick {
 		iters = 500
@@ -138,23 +150,26 @@ func SVMExtension(c Config) *harness.Table {
 	}
 	rng := rand.New(rand.NewSource(int64(c.Seed) + 73))
 	data := svm.TwoGaussians(rng, 200, 400, 8, 2.5)
-	sweep := harness.Sweep{Rates: rates, Trials: trials, Seed: c.Seed + 73}
-	return &harness.Table{
-		Title:  fmt.Sprintf("§4.7 extension: SVM training accuracy under FPU faults (%d iterations)", iters),
-		YLabel: "held-out accuracy",
-		Series: []harness.Series{
-			{Name: "perceptron", Points: sweep.Run(func(rate float64, seed uint64) float64 {
+	sweep := harness.Sweep{Rates: rates, Trials: trials, Seed: c.Seed + 73, Workers: c.Workers}
+	return &Plan{
+		ID: "svm",
+		Skeleton: harness.Table{
+			Title:  fmt.Sprintf("§4.7 extension: SVM training accuracy under FPU faults (%d iterations)", iters),
+			YLabel: "held-out accuracy",
+		},
+		Units: []Unit{
+			{Series: "perceptron", Agg: "mean", Sweep: sweep, Fn: func(rate float64, seed uint64) float64 {
 				u := fpu.New(fpu.WithFaultRate(rate, seed))
 				return data.Accuracy(svm.Perceptron(u, data, 10))
-			})},
-			{Name: "robust-pegasos", Points: sweep.Run(func(rate float64, seed uint64) float64 {
+			}},
+			{Series: "robust-pegasos", Agg: "mean", Sweep: sweep, Fn: func(rate float64, seed uint64) float64 {
 				u := fpu.New(fpu.WithFaultRate(rate, seed))
 				w, _, err := svm.Train(u, data, svm.Options{Iters: iters})
 				if err != nil {
 					return 0
 				}
 				return data.Accuracy(w)
-			})},
+			}},
 		},
 	}
 }

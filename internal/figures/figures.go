@@ -30,6 +30,9 @@ type Config struct {
 	Seed uint64
 	// Quick shrinks problem sizes and grids for smoke tests and benches.
 	Quick bool
+	// Workers bounds sweep parallelism (0 = GOMAXPROCS); it never affects
+	// results, only scheduling.
+	Workers int
 }
 
 func (c Config) trials(def, quick int) int {
@@ -151,14 +154,16 @@ func sortRates(quick bool) []float64 {
 
 // Fig61 reproduces Fig 6.1: sorting success rate for the quicksort
 // baseline and the SGD variants, 5-element arrays, 10 000 iterations.
-func Fig61(c Config) *harness.Table {
+func Fig61(c Config) *harness.Table { return plan61(c).Build() }
+
+func plan61(c Config) *Plan {
 	const n = 5
 	iters := 10000
 	if c.Quick {
 		iters = 2000
 	}
 	trials := c.trials(100, 8)
-	sweep := harness.Sweep{Rates: sortRates(c.Quick), Trials: trials, Seed: c.Seed + 61}
+	sweep := harness.Sweep{Rates: sortRates(c.Quick), Trials: trials, Seed: c.Seed + 61, Workers: c.Workers}
 
 	dataFor := func(seed uint64) []float64 {
 		rng := rand.New(rand.NewSource(int64(seed)))
@@ -181,25 +186,28 @@ func Fig61(c Config) *harness.Table {
 	}
 	ls := solver.Linear(0.5 / n)
 	sqs := solver.Sqrt(0.5 / n)
-	series := []harness.Series{
-		{Name: "Base", Points: sweep.Run(func(rate float64, seed uint64) float64 {
+	units := []Unit{
+		{Series: "Base", Agg: "mean", Sweep: sweep, Fn: func(rate float64, seed uint64) float64 {
 			data := dataFor(seed)
 			u := fpu.New(fpu.WithFaultRate(rate, seed))
 			return b2f(robsort.Success(robsort.Baseline(u, data), data))
-		})},
-		{Name: "SGD", Points: sweep.Run(runRobust(robsort.Options{Iters: iters, Schedule: ls}))},
-		{Name: "SGD+AS,LS", Points: sweep.Run(runRobust(robsort.Options{
-			Iters: iters, Schedule: ls, Aggressive: solver.DefaultAggressive()}))},
-		{Name: "SGD+AS,SQS", Points: sweep.Run(runRobust(robsort.Options{
-			Iters: iters, Schedule: sqs, Aggressive: solver.DefaultAggressive(), Tail: iters / 5}))},
+		}},
+		{Series: "SGD", Agg: "mean", Sweep: sweep, Fn: runRobust(robsort.Options{Iters: iters, Schedule: ls})},
+		{Series: "SGD+AS,LS", Agg: "mean", Sweep: sweep, Fn: runRobust(robsort.Options{
+			Iters: iters, Schedule: ls, Aggressive: solver.DefaultAggressive()})},
+		{Series: "SGD+AS,SQS", Agg: "mean", Sweep: sweep, Fn: runRobust(robsort.Options{
+			Iters: iters, Schedule: sqs, Aggressive: solver.DefaultAggressive(), Tail: iters / 5})},
 	}
-	return &harness.Table{
-		Title:  fmt.Sprintf("Fig 6.1: accuracy of sort, %d iterations (%d-element arrays)", iters, n),
-		YLabel: "success rate",
-		Series: series,
-		Notes: []string{
-			"LS = 1/t step scaling, SQS = 1/sqrt(t); SQS series uses Polyak tail averaging (the Theorem 1 convex-case iterate)",
+	return &Plan{
+		ID: "6.1",
+		Skeleton: harness.Table{
+			Title:  fmt.Sprintf("Fig 6.1: accuracy of sort, %d iterations (%d-element arrays)", iters, n),
+			YLabel: "success rate",
+			Notes: []string{
+				"LS = 1/t step scaling, SQS = 1/sqrt(t); SQS series uses Polyak tail averaging (the Theorem 1 convex-case iterate)",
+			},
 		},
+		Units: units,
 	}
 }
 
@@ -213,7 +221,9 @@ func lsqRates(quick bool) []float64 {
 
 // Fig62 reproduces Fig 6.2: least squares relative error for the SVD
 // baseline and the SGD variants (A ∈ R^100×10, 1000 iterations).
-func Fig62(c Config) *harness.Table {
+func Fig62(c Config) *harness.Table { return plan62(c).Build() }
+
+func plan62(c Config) *Plan {
 	m, n, iters := 100, 10, 1000
 	if c.Quick {
 		m, n, iters = 40, 6, 300
@@ -224,7 +234,7 @@ func Fig62(c Config) *harness.Table {
 	if err != nil {
 		panic(fmt.Sprintf("figures: lsq instance: %v", err))
 	}
-	sweep := harness.Sweep{Rates: lsqRates(c.Quick), Trials: trials, Seed: c.Seed + 62}
+	sweep := harness.Sweep{Rates: lsqRates(c.Quick), Trials: trials, Seed: c.Seed + 62, Workers: c.Workers}
 
 	runSGD := func(o leastsq.SGDOptions) harness.TrialFunc {
 		return func(rate float64, seed uint64) float64 {
@@ -236,33 +246,38 @@ func Fig62(c Config) *harness.Table {
 			return capErr(inst.RelErr(x))
 		}
 	}
-	series := []harness.Series{
-		{Name: "Base: SVD", Points: sweep.RunMedian(func(rate float64, seed uint64) float64 {
+	units := []Unit{
+		{Series: "Base: SVD", Agg: "median", Sweep: sweep, Fn: func(rate float64, seed uint64) float64 {
 			u := fpu.New(fpu.WithFaultRate(rate, seed))
 			return capErr(inst.RelErr(inst.SolveSVD(u)))
-		})},
-		{Name: "SGD,LS", Points: sweep.RunMedian(runSGD(leastsq.SGDOptions{
-			Iters: iters, Schedule: inst.LinearSchedule(8)}))},
-		{Name: "SGD+AS,LS", Points: sweep.RunMedian(runSGD(leastsq.SGDOptions{
-			Iters: iters, Schedule: inst.LinearSchedule(8), Aggressive: solver.DefaultAggressive()}))},
+		}},
+		{Series: "SGD,LS", Agg: "median", Sweep: sweep, Fn: runSGD(leastsq.SGDOptions{
+			Iters: iters, Schedule: inst.LinearSchedule(8)})},
+		{Series: "SGD+AS,LS", Agg: "median", Sweep: sweep, Fn: runSGD(leastsq.SGDOptions{
+			Iters: iters, Schedule: inst.LinearSchedule(8), Aggressive: solver.DefaultAggressive()})},
 		// With the same η₀ as the LS series, the 1/√t schedule keeps the
 		// step above the curvature stability bound through the early
 		// iterations — the instability behind the paper's "SQS results in
 		// errors larger than 1.0".
-		{Name: "SGD,SQS", Points: sweep.RunMedian(runSGD(leastsq.SGDOptions{
-			Iters: iters, Schedule: inst.SqrtSchedule(8)}))},
+		{Series: "SGD,SQS", Agg: "median", Sweep: sweep, Fn: runSGD(leastsq.SGDOptions{
+			Iters: iters, Schedule: inst.SqrtSchedule(8)})},
 	}
-	return &harness.Table{
-		Title:  fmt.Sprintf("Fig 6.2: accuracy of least squares, %d iterations (A %dx%d)", iters, m, n),
-		YLabel: "relative error w.r.t. ideal (median; lower is better)",
-		Series: series,
-		Notes:  []string{"the SGD,SQS series reproduces the paper's remark that SQS errors exceed the useful range"},
+	return &Plan{
+		ID: "6.2",
+		Skeleton: harness.Table{
+			Title:  fmt.Sprintf("Fig 6.2: accuracy of least squares, %d iterations (A %dx%d)", iters, m, n),
+			YLabel: "relative error w.r.t. ideal (median; lower is better)",
+			Notes:  []string{"the SGD,SQS series reproduces the paper's remark that SQS errors exceed the useful range"},
+		},
+		Units: units,
 	}
 }
 
 // Fig63 reproduces Fig 6.3: IIR error-to-signal ratio for the procedural
 // baseline and SGD variants (10-tap filter, 500 samples, 1000 iterations).
-func Fig63(c Config) *harness.Table {
+func Fig63(c Config) *harness.Table { return plan63(c).Build() }
+
+func plan63(c Config) *Plan {
 	taps, samples, iters := 10, 500, 1000
 	if c.Quick {
 		taps, samples, iters = 6, 100, 300
@@ -282,7 +297,7 @@ func Fig63(c Config) *harness.Table {
 	if c.Quick {
 		rates = []float64{1e-3, 0.01}
 	}
-	sweep := harness.Sweep{Rates: rates, Trials: trials, Seed: c.Seed + 63}
+	sweep := harness.Sweep{Rates: rates, Trials: trials, Seed: c.Seed + 63, Workers: c.Workers}
 
 	runRobust := func(o iir.Options) harness.TrialFunc {
 		return func(rate float64, seed uint64) float64 {
@@ -294,36 +309,41 @@ func Fig63(c Config) *harness.Table {
 			return capErr(iir.ErrorToSignal(y, ideal))
 		}
 	}
-	series := []harness.Series{
-		{Name: "Base", Points: sweep.RunMedian(func(rate float64, seed uint64) float64 {
+	units := []Unit{
+		{Series: "Base", Agg: "median", Sweep: sweep, Fn: func(rate float64, seed uint64) float64 {
 			u := fpu.New(fpu.WithFaultRate(rate, seed))
 			return capErr(iir.ErrorToSignal(filter.Feedforward(u, signal), ideal))
-		})},
-		{Name: "SGD,LS", Points: sweep.RunMedian(runRobust(iir.Options{
-			Iters: iters, Schedule: filter.LinearSchedule(samples, 8)}))},
-		{Name: "SGD+AS,LS", Points: sweep.RunMedian(runRobust(iir.Options{
-			Iters: iters, Schedule: filter.LinearSchedule(samples, 8), Aggressive: solver.DefaultAggressive()}))},
-		{Name: "SGD+AS,SQS", Points: sweep.RunMedian(runRobust(iir.Options{
-			Iters: iters, Schedule: filter.SqrtSchedule(samples, 4), Aggressive: solver.DefaultAggressive()}))},
+		}},
+		{Series: "SGD,LS", Agg: "median", Sweep: sweep, Fn: runRobust(iir.Options{
+			Iters: iters, Schedule: filter.LinearSchedule(samples, 8)})},
+		{Series: "SGD+AS,LS", Agg: "median", Sweep: sweep, Fn: runRobust(iir.Options{
+			Iters: iters, Schedule: filter.LinearSchedule(samples, 8), Aggressive: solver.DefaultAggressive()})},
+		{Series: "SGD+AS,SQS", Agg: "median", Sweep: sweep, Fn: runRobust(iir.Options{
+			Iters: iters, Schedule: filter.SqrtSchedule(samples, 4), Aggressive: solver.DefaultAggressive()})},
 	}
-	return &harness.Table{
-		Title:  fmt.Sprintf("Fig 6.3: accuracy of IIR, %d iterations (%d taps, %d samples)", iters, taps, samples),
-		YLabel: "error energy / signal energy (median; lower is better)",
-		Series: series,
+	return &Plan{
+		ID: "6.3",
+		Skeleton: harness.Table{
+			Title:  fmt.Sprintf("Fig 6.3: accuracy of IIR, %d iterations (%d taps, %d samples)", iters, taps, samples),
+			YLabel: "error energy / signal energy (median; lower is better)",
+		},
+		Units: units,
 	}
 }
 
 // Fig64 reproduces Fig 6.4: matching success rate for the Hungarian
 // baseline and the basic SGD variants (11 nodes, 30 edges, 10 000
 // iterations). The basic variants plateau below ~50%.
-func Fig64(c Config) *harness.Table {
+func Fig64(c Config) *harness.Table { return plan64(c).Build() }
+
+func plan64(c Config) *Plan {
 	iters := 10000
 	if c.Quick {
 		iters = 2000
 	}
 	trials := c.trials(40, 8)
 	insts := matchingInstances(c.Seed+64, 8)
-	sweep := harness.Sweep{Rates: sortRates(c.Quick), Trials: trials, Seed: c.Seed + 64}
+	sweep := harness.Sweep{Rates: sortRates(c.Quick), Trials: trials, Seed: c.Seed + 64, Workers: c.Workers}
 
 	pick := func(seed uint64) *matching.Instance { return insts[int(seed%uint64(len(insts)))] }
 	runRobust := func(opts matching.Options) harness.TrialFunc {
@@ -340,28 +360,33 @@ func Fig64(c Config) *harness.Table {
 	const dim = 6
 	ls := solver.Linear(0.5 / dim)
 	sqs := solver.Sqrt(0.5 / dim)
-	series := []harness.Series{
-		{Name: "Base", Points: sweep.Run(func(rate float64, seed uint64) float64 {
+	units := []Unit{
+		{Series: "Base", Agg: "mean", Sweep: sweep, Fn: func(rate float64, seed uint64) float64 {
 			inst := pick(seed)
 			u := fpu.New(fpu.WithFaultRate(rate, seed))
 			return b2f(inst.Success(inst.Baseline(u)))
-		})},
-		{Name: "SGD,LS", Points: sweep.Run(runRobust(matching.Options{Iters: iters, Schedule: ls}))},
-		{Name: "SGD+AS,LS", Points: sweep.Run(runRobust(matching.Options{
-			Iters: iters, Schedule: ls, Aggressive: solver.DefaultAggressive()}))},
-		{Name: "SGD+AS,SQS", Points: sweep.Run(runRobust(matching.Options{
-			Iters: iters, Schedule: sqs, Aggressive: solver.DefaultAggressive()}))},
+		}},
+		{Series: "SGD,LS", Agg: "mean", Sweep: sweep, Fn: runRobust(matching.Options{Iters: iters, Schedule: ls})},
+		{Series: "SGD+AS,LS", Agg: "mean", Sweep: sweep, Fn: runRobust(matching.Options{
+			Iters: iters, Schedule: ls, Aggressive: solver.DefaultAggressive()})},
+		{Series: "SGD+AS,SQS", Agg: "mean", Sweep: sweep, Fn: runRobust(matching.Options{
+			Iters: iters, Schedule: sqs, Aggressive: solver.DefaultAggressive()})},
 	}
-	return &harness.Table{
-		Title:  fmt.Sprintf("Fig 6.4: accuracy of matching, %d iterations (5x6 nodes, 30 edges)", iters),
-		YLabel: "success rate",
-		Series: series,
-		Notes:  []string{"without the 6.2 enhancements the SGD variants plateau well below 100%"},
+	return &Plan{
+		ID: "6.4",
+		Skeleton: harness.Table{
+			Title:  fmt.Sprintf("Fig 6.4: accuracy of matching, %d iterations (5x6 nodes, 30 edges)", iters),
+			YLabel: "success rate",
+			Notes:  []string{"without the 6.2 enhancements the SGD variants plateau well below 100%"},
+		},
+		Units: units,
 	}
 }
 
 // Fig65 reproduces Fig 6.5: the enhancement ladder on bipartite matching.
-func Fig65(c Config) *harness.Table {
+func Fig65(c Config) *harness.Table { return plan65(c).Build() }
+
+func plan65(c Config) *Plan {
 	iters := 10000
 	if c.Quick {
 		iters = 2000
@@ -372,21 +397,21 @@ func Fig65(c Config) *harness.Table {
 	if c.Quick {
 		rates = []float64{0, 0.05, 0.5}
 	}
-	sweep := harness.Sweep{Rates: rates, Trials: trials, Seed: c.Seed + 65}
+	sweep := harness.Sweep{Rates: rates, Trials: trials, Seed: c.Seed + 65, Workers: c.Workers}
 	pick := func(seed uint64) *matching.Instance { return insts[int(seed%uint64(len(insts)))] }
 
-	series := []harness.Series{
-		{Name: "Non-robust", Points: sweep.Run(func(rate float64, seed uint64) float64 {
+	units := []Unit{
+		{Series: "Non-robust", Agg: "mean", Sweep: sweep, Fn: func(rate float64, seed uint64) float64 {
 			inst := pick(seed)
 			u := fpu.New(fpu.WithFaultRate(rate, seed))
 			return b2f(inst.Success(inst.Baseline(u)))
-		})},
+		}},
 	}
 	for _, v := range matching.Variants(iters, 6) {
 		opts := v.Opts
-		series = append(series, harness.Series{
-			Name: v.Name,
-			Points: sweep.Run(func(rate float64, seed uint64) float64 {
+		units = append(units, Unit{
+			Series: v.Name, Agg: "mean", Sweep: sweep,
+			Fn: func(rate float64, seed uint64) float64 {
 				inst := pick(seed)
 				u := fpu.New(fpu.WithFaultRate(rate, seed))
 				assign, _, err := inst.Robust(u, opts)
@@ -394,22 +419,27 @@ func Fig65(c Config) *harness.Table {
 					return 0
 				}
 				return b2f(inst.Success(assign))
-			}),
+			},
 		})
 	}
-	return &harness.Table{
-		Title:  fmt.Sprintf("Fig 6.5: effect of gradient descent enhancements on matching (%d iterations)", iters),
-		YLabel: "success rate",
-		Series: series,
-		Notes: []string{
-			"averaged over 8 random 5x6/30-edge instances (the paper used one hand-built instance)",
+	return &Plan{
+		ID: "6.5",
+		Skeleton: harness.Table{
+			Title:  fmt.Sprintf("Fig 6.5: effect of gradient descent enhancements on matching (%d iterations)", iters),
+			YLabel: "success rate",
+			Notes: []string{
+				"averaged over 8 random 5x6/30-edge instances (the paper used one hand-built instance)",
+			},
 		},
+		Units: units,
 	}
 }
 
 // Fig66 reproduces Fig 6.6: least squares accuracy of the three direct
 // baselines against 10-iteration CG across fault rates.
-func Fig66(c Config) *harness.Table {
+func Fig66(c Config) *harness.Table { return plan66(c).Build() }
+
+func plan66(c Config) *Plan {
 	m, n := 100, 10
 	if c.Quick {
 		m, n = 40, 6
@@ -420,30 +450,33 @@ func Fig66(c Config) *harness.Table {
 	if err != nil {
 		panic(fmt.Sprintf("figures: lsq instance: %v", err))
 	}
-	sweep := harness.Sweep{Rates: lsqRates(c.Quick), Trials: trials, Seed: c.Seed + 66}
+	sweep := harness.Sweep{Rates: lsqRates(c.Quick), Trials: trials, Seed: c.Seed + 66, Workers: c.Workers}
 	base := func(solve func(*fpu.Unit) []float64) harness.TrialFunc {
 		return func(rate float64, seed uint64) float64 {
 			u := fpu.New(fpu.WithFaultRate(rate, seed))
 			return capErr(inst.RelErr(solve(u)))
 		}
 	}
-	series := []harness.Series{
-		{Name: "Base: QR", Points: sweep.RunMedian(base(inst.SolveQR))},
-		{Name: "Base: SVD", Points: sweep.RunMedian(base(inst.SolveSVD))},
-		{Name: "Base: Cholesky", Points: sweep.RunMedian(base(inst.SolveCholesky))},
-		{Name: "CG, N=10", Points: sweep.RunMedian(func(rate float64, seed uint64) float64 {
+	units := []Unit{
+		{Series: "Base: QR", Agg: "median", Sweep: sweep, Fn: base(inst.SolveQR)},
+		{Series: "Base: SVD", Agg: "median", Sweep: sweep, Fn: base(inst.SolveSVD)},
+		{Series: "Base: Cholesky", Agg: "median", Sweep: sweep, Fn: base(inst.SolveCholesky)},
+		{Series: "CG, N=10", Agg: "median", Sweep: sweep, Fn: func(rate float64, seed uint64) float64 {
 			u := fpu.New(fpu.WithFaultRate(rate, seed))
 			x, _, err := inst.SolveCG(u, 10, 5)
 			if err != nil {
 				return 1e30
 			}
 			return capErr(inst.RelErr(x))
-		})},
+		}},
 	}
-	return &harness.Table{
-		Title:  fmt.Sprintf("Fig 6.6: accuracy of least squares, CG vs direct baselines (A %dx%d)", m, n),
-		YLabel: "relative error w.r.t. ideal (median; lower is better)",
-		Series: series,
+	return &Plan{
+		ID: "6.6",
+		Skeleton: harness.Table{
+			Title:  fmt.Sprintf("Fig 6.6: accuracy of least squares, CG vs direct baselines (A %dx%d)", m, n),
+			YLabel: "relative error w.r.t. ideal (median; lower is better)",
+		},
+		Units: units,
 	}
 }
 
@@ -495,7 +528,9 @@ func Fig67(c Config) *harness.Table {
 
 // MomentumAblation reproduces §6.2.2: momentum 0.5 against plain gradient
 // descent on sorting and matching (LS schedule).
-func MomentumAblation(c Config) *harness.Table {
+func MomentumAblation(c Config) *harness.Table { return planMomentum(c).Build() }
+
+func planMomentum(c Config) *Plan {
 	iters := 10000
 	if c.Quick {
 		iters = 2000
@@ -505,7 +540,7 @@ func MomentumAblation(c Config) *harness.Table {
 	if c.Quick {
 		rates = []float64{0.05, 0.5}
 	}
-	sweep := harness.Sweep{Rates: rates, Trials: trials, Seed: c.Seed + 622}
+	sweep := harness.Sweep{Rates: rates, Trials: trials, Seed: c.Seed + 622, Workers: c.Workers}
 	insts := matchingInstances(c.Seed+622, 8)
 	pick := func(seed uint64) *matching.Instance { return insts[int(seed%uint64(len(insts)))] }
 
@@ -537,14 +572,17 @@ func MomentumAblation(c Config) *harness.Table {
 			return b2f(inst.Success(assign))
 		}
 	}
-	return &harness.Table{
-		Title:  fmt.Sprintf("§6.2.2: momentum ablation (LS schedule, %d iterations)", iters),
-		YLabel: "success rate",
-		Series: []harness.Series{
-			{Name: "sort", Points: sweep.Run(sortRun(0))},
-			{Name: "sort+mom0.5", Points: sweep.Run(sortRun(0.5))},
-			{Name: "match", Points: sweep.Run(matchRun(0))},
-			{Name: "match+mom0.5", Points: sweep.Run(matchRun(0.5))},
+	return &Plan{
+		ID: "momentum",
+		Skeleton: harness.Table{
+			Title:  fmt.Sprintf("§6.2.2: momentum ablation (LS schedule, %d iterations)", iters),
+			YLabel: "success rate",
+		},
+		Units: []Unit{
+			{Series: "sort", Agg: "mean", Sweep: sweep, Fn: sortRun(0)},
+			{Series: "sort+mom0.5", Agg: "mean", Sweep: sweep, Fn: sortRun(0.5)},
+			{Series: "match", Agg: "mean", Sweep: sweep, Fn: matchRun(0)},
+			{Series: "match+mom0.5", Agg: "mean", Sweep: sweep, Fn: matchRun(0.5)},
 		},
 	}
 }

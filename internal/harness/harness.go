@@ -9,6 +9,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -68,21 +69,78 @@ func (s Sweep) TrialSeed(rateIdx, trial int) uint64 {
 // Run executes fn over the full rate×trial grid and returns the mean metric
 // per rate.
 func (s Sweep) Run(fn TrialFunc) []Point {
-	return s.aggregate(fn, mean)
+	points, _ := s.RunHooked(context.Background(), fn, Mean, Hooks{})
+	return points
 }
 
 // RunMedian is Run with a median aggregate, preferred for error metrics
 // with occasional catastrophic outliers.
 func (s Sweep) RunMedian(fn TrialFunc) []Point {
-	return s.aggregate(fn, median)
+	points, _ := s.RunHooked(context.Background(), fn, Median, Hooks{})
+	return points
 }
 
-// aggregate runs the full rate×trial grid in parallel, keyed by rate index
+// Size is the number of trials in the full rate×trial grid.
+func (s Sweep) Size() int {
+	trials := s.Trials
+	if trials <= 0 {
+		trials = 1
+	}
+	return len(s.Rates) * trials
+}
+
+// Trial is one grid-cell execution and its outcome, as delivered to a
+// Hooks.Sink.
+type Trial struct {
+	// RateIdx and TrialIdx locate the cell in the sweep grid; together
+	// with the sweep seed they form the trial's identity.
+	RateIdx  int
+	TrialIdx int
+	// Rate and Seed are the inputs the trial function saw.
+	Rate float64
+	Seed uint64
+	// Value is the trial's metric value.
+	Value float64
+	// Cached marks a value served by Hooks.Lookup instead of executed.
+	Cached bool
+}
+
+// Aggregator folds one cell's trial values into the cell's point value.
+type Aggregator func([]float64) float64
+
+// AggregatorByName resolves "mean" or "median" ("" defaults to mean).
+func AggregatorByName(name string) (Aggregator, error) {
+	switch name {
+	case "", "mean":
+		return Mean, nil
+	case "median":
+		return Median, nil
+	default:
+		return nil, fmt.Errorf("harness: unknown aggregator %q", name)
+	}
+}
+
+// Hooks customize RunHooked with resume lookups and a trial sink. Both
+// callbacks may be invoked concurrently from worker goroutines.
+type Hooks struct {
+	// Lookup, if non-nil, is consulted before executing a trial; a hit
+	// short-circuits execution (the basis of campaign resume).
+	Lookup func(rateIdx, trial int) (float64, bool)
+	// Sink, if non-nil, receives every trial outcome, including cached
+	// ones (flagged Cached) so progress accounting sees the whole grid.
+	Sink func(Trial)
+}
+
+// RunHooked runs the full rate×trial grid in parallel, keyed by rate index
 // so duplicate or repeated rates aggregate into their own cells, and folds
-// each cell's trials with agg.
-func (s Sweep) aggregate(fn TrialFunc, agg func([]float64) float64) []Point {
+// each cell's trials with agg. Cancelling ctx abandons unstarted trials and
+// returns ctx.Err(); already-delivered Sink calls remain valid.
+func (s Sweep) RunHooked(ctx context.Context, fn TrialFunc, agg Aggregator, h Hooks) ([]Point, error) {
 	if s.Trials <= 0 {
 		s.Trials = 1
+	}
+	if agg == nil {
+		agg = Mean
 	}
 	workers := s.Workers
 	if workers <= 0 {
@@ -94,32 +152,64 @@ func (s Sweep) aggregate(fn TrialFunc, agg func([]float64) float64) []Point {
 	for i := range results {
 		results[i] = make([]float64, s.Trials)
 	}
+	done := ctx.Done()
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				results[j.rateIdx][j.trial] = fn(s.Rates[j.rateIdx], s.TrialSeed(j.rateIdx, j.trial))
+				select {
+				case <-done:
+					continue // drain without executing
+				default:
+				}
+				t := Trial{
+					RateIdx:  j.rateIdx,
+					TrialIdx: j.trial,
+					Rate:     s.Rates[j.rateIdx],
+					Seed:     s.TrialSeed(j.rateIdx, j.trial),
+				}
+				if h.Lookup != nil {
+					if v, ok := h.Lookup(j.rateIdx, j.trial); ok {
+						t.Value, t.Cached = v, true
+					}
+				}
+				if !t.Cached {
+					t.Value = fn(t.Rate, t.Seed)
+				}
+				results[j.rateIdx][j.trial] = t.Value
+				if h.Sink != nil {
+					h.Sink(t)
+				}
 			}
 		}()
 	}
+feed:
 	for r := range s.Rates {
 		for t := 0; t < s.Trials; t++ {
-			jobs <- job{rateIdx: r, trial: t}
+			select {
+			case jobs <- job{rateIdx: r, trial: t}:
+			case <-done:
+				break feed
+			}
 		}
 	}
 	close(jobs)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	points := make([]Point, len(s.Rates))
 	for r, rate := range s.Rates {
 		points[r] = Point{Rate: rate, Value: agg(results[r])}
 	}
-	return points
+	return points, nil
 }
 
-func mean(xs []float64) float64 {
+// Mean is the default cell aggregator.
+func Mean(xs []float64) float64 {
 	if len(xs) == 0 {
 		return math.NaN()
 	}
@@ -130,7 +220,8 @@ func mean(xs []float64) float64 {
 	return s / float64(len(xs))
 }
 
-func median(xs []float64) float64 {
+// Median aggregates a cell by its median, robust to catastrophic outliers.
+func Median(xs []float64) float64 {
 	if len(xs) == 0 {
 		return math.NaN()
 	}

@@ -1,0 +1,144 @@
+package harness
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+func TestRunHookedSinkSeesWholeGrid(t *testing.T) {
+	s := Sweep{Rates: []float64{0.1, 0.2}, Trials: 3, Seed: 5}
+	var mu sync.Mutex
+	seen := map[[2]int]Trial{}
+	pts, err := s.RunHooked(context.Background(), func(rate float64, seed uint64) float64 {
+		return rate
+	}, Mean, Hooks{Sink: func(tr Trial) {
+		mu.Lock()
+		seen[[2]int{tr.RateIdx, tr.TrialIdx}] = tr
+		mu.Unlock()
+	}})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(pts) != 2 || len(seen) != s.Size() {
+		t.Fatalf("points=%d sink saw %d/%d trials", len(pts), len(seen), s.Size())
+	}
+	for key, tr := range seen {
+		if tr.Cached {
+			t.Errorf("trial %v marked cached without a Lookup", key)
+		}
+		if want := s.TrialSeed(key[0], key[1]); tr.Seed != want {
+			t.Errorf("trial %v seed = %d, want %d", key, tr.Seed, want)
+		}
+		if tr.Value != s.Rates[key[0]] {
+			t.Errorf("trial %v value = %v", key, tr.Value)
+		}
+	}
+}
+
+func TestRunHookedLookupShortCircuits(t *testing.T) {
+	s := Sweep{Rates: []float64{0.1}, Trials: 4, Seed: 1}
+	var mu sync.Mutex
+	executed := 0
+	cachedSeen := 0
+	pts, err := s.RunHooked(context.Background(), func(rate float64, seed uint64) float64 {
+		mu.Lock()
+		executed++
+		mu.Unlock()
+		return 2
+	}, Mean, Hooks{
+		Lookup: func(rateIdx, trial int) (float64, bool) {
+			if trial < 2 {
+				return 10, true // pretend the first two trials are stored
+			}
+			return 0, false
+		},
+		Sink: func(tr Trial) {
+			if tr.Cached {
+				mu.Lock()
+				cachedSeen++
+				mu.Unlock()
+				if tr.Value != 10 {
+					t.Errorf("cached value = %v, want 10", tr.Value)
+				}
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if executed != 2 || cachedSeen != 2 {
+		t.Errorf("executed=%d cached=%d, want 2 and 2", executed, cachedSeen)
+	}
+	// Mean over {10, 10, 2, 2}.
+	if pts[0].Value != 6 {
+		t.Errorf("mean = %v, want 6", pts[0].Value)
+	}
+}
+
+func TestRunHookedCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	s := Sweep{Rates: []float64{0.1}, Trials: 1000, Seed: 1, Workers: 2}
+	var mu sync.Mutex
+	ran := 0
+	pts, err := s.RunHooked(ctx, func(rate float64, seed uint64) float64 {
+		mu.Lock()
+		ran++
+		if ran == 5 {
+			cancel()
+		}
+		mu.Unlock()
+		return 1
+	}, Mean, Hooks{})
+	if err == nil {
+		t.Fatal("cancelled run returned nil error")
+	}
+	if pts != nil {
+		t.Error("cancelled run returned points")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if ran >= 1000 {
+		t.Errorf("cancellation did not stop the grid (ran %d)", ran)
+	}
+}
+
+func TestRunHookedMatchesRun(t *testing.T) {
+	s := Sweep{Rates: []float64{0.01, 0.1}, Trials: 5, Seed: 9}
+	fn := func(rate float64, seed uint64) float64 { return rate * float64(seed%7) }
+	want := s.Run(fn)
+	got, err := s.RunHooked(context.Background(), fn, Mean, Hooks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Errorf("point %d: %v vs %v", i, want[i], got[i])
+		}
+	}
+}
+
+func TestAggregatorByName(t *testing.T) {
+	xs := []float64{1, 2, 10}
+	if agg, err := AggregatorByName(""); err != nil || agg(xs) != 13.0/3 {
+		t.Errorf("default aggregator: %v", err)
+	}
+	if agg, err := AggregatorByName("mean"); err != nil || agg(xs) != 13.0/3 {
+		t.Errorf("mean: %v", err)
+	}
+	if agg, err := AggregatorByName("median"); err != nil || agg(xs) != 2 {
+		t.Errorf("median: %v", err)
+	}
+	if _, err := AggregatorByName("p99"); err == nil {
+		t.Error("unknown aggregator accepted")
+	}
+}
+
+func TestSweepSize(t *testing.T) {
+	if got := (Sweep{Rates: []float64{1, 2, 3}, Trials: 4}).Size(); got != 12 {
+		t.Errorf("size = %d, want 12", got)
+	}
+	if got := (Sweep{Rates: []float64{1}}).Size(); got != 1 {
+		t.Errorf("zero-trials size = %d, want 1", got)
+	}
+}
