@@ -2,14 +2,18 @@
 // declarative campaign spec, watch live progress, fetch results as text,
 // CSV, or JSON at any point mid-run, cancel, and resume. Every completed
 // trial is checkpointed to an append-only JSONL store under the data
-// directory, so campaigns survive cancellation and the daemon's results
-// are durable, queryable artifacts.
+// directory, and per-campaign lifecycle state is mirrored to meta.json,
+// so campaigns survive cancellation — and the daemon itself being killed:
+// on startup every campaign directory under -data is recovered, prior
+// campaigns stay listable and queryable, and campaigns a crash orphaned
+// are reported as "interrupted" and can be resumed (automatically, with
+// -autoresume), re-executing only the trials the crash lost.
 //
 // Usage:
 //
-//	robustd [-addr :8080] [-data DIR] [-concurrency N]
+//	robustd [-addr :8080] [-data DIR] [-concurrency N] [-autoresume]
 //
-// See README.md for the endpoint list and curl examples.
+// See README.md for the endpoint list, on-disk layout, and curl examples.
 package main
 
 import (
@@ -44,20 +48,36 @@ func run(args []string, ready chan<- string) error {
 		addr        = fs.String("addr", ":8080", "listen address")
 		data        = fs.String("data", "robustd-data", "campaign store directory")
 		concurrency = fs.Int("concurrency", 4, "max concurrently running campaigns")
+		autoresume  = fs.Bool("autoresume", false, "restart interrupted campaigns on boot")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if err := os.MkdirAll(*data, 0o755); err != nil {
+
+	m, err := campaign.NewManager(*data, *concurrency)
+	if err != nil {
 		return err
 	}
-
-	m := campaign.NewManager(*data, *concurrency)
 	defer m.Close()
+	if recovered := m.List(); len(recovered) > 0 {
+		byState := map[string]int{}
+		for _, s := range recovered {
+			byState[s.State]++
+		}
+		log.Printf("robustd: recovered %d campaign(s) from %s: %v", len(recovered), *data, byState)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
+	}
+	// Auto-resume only once the listen socket is ours: a bind failure
+	// (port taken — often another daemon racing for the same role) should
+	// exit without having restarted campaigns just to wind them down.
+	if *autoresume {
+		if ids := m.ResumeInterrupted(); len(ids) > 0 {
+			log.Printf("robustd: auto-resuming interrupted campaign(s): %v", ids)
+		}
 	}
 	srv := &http.Server{Handler: campaign.NewServer(m)}
 

@@ -1,14 +1,199 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
+	"os"
+	"os/exec"
+	"regexp"
 	"strings"
+	"sync"
 	"syscall"
 	"testing"
 	"time"
 )
+
+// TestMain doubles the test binary as the daemon itself: with
+// ROBUSTD_TEST_CHILD set it runs robustd's real main loop instead of the
+// tests, so the kill-and-restart e2e can SIGKILL an actual OS process
+// rather than simulate a crash in-process.
+func TestMain(m *testing.M) {
+	if os.Getenv("ROBUSTD_TEST_CHILD") == "1" {
+		if err := run(os.Args[1:], nil); err != nil {
+			fmt.Fprintln(os.Stderr, "robustd:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// listenRe extracts the bound address from robustd's startup log line.
+var listenRe = regexp.MustCompile(`listening on ([^,]+),`)
+
+// stderrWatch collects the child's stderr and announces the listen
+// address once it appears.
+type stderrWatch struct {
+	mu    sync.Mutex
+	buf   bytes.Buffer
+	addrc chan string
+}
+
+func (s *stderrWatch) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.buf.Write(p)
+	if m := listenRe.FindSubmatch(s.buf.Bytes()); m != nil {
+		select {
+		case s.addrc <- string(m[1]):
+		default:
+		}
+	}
+	return len(p), nil
+}
+
+func (s *stderrWatch) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.buf.String()
+}
+
+// startDaemon boots a robustd child process with the given extra flags on
+// an ephemeral port and returns it with its HTTP base URL.
+func startDaemon(t *testing.T, data string, extra ...string) (*exec.Cmd, string) {
+	t.Helper()
+	args := append([]string{"-addr", "127.0.0.1:0", "-data", data}, extra...)
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "ROBUSTD_TEST_CHILD=1")
+	watch := &stderrWatch{addrc: make(chan string, 1)}
+	cmd.Stderr = watch
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start daemon: %v", err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	select {
+	case addr := <-watch.addrc:
+		return cmd, "http://" + addr
+	case <-time.After(30 * time.Second):
+		t.Fatalf("daemon never announced its address; stderr:\n%s", watch)
+		return nil, ""
+	}
+}
+
+// sigkillDaemon kills the child the way a crash would: no signal handler
+// runs, no shutdown path executes.
+func sigkillDaemon(t *testing.T, cmd *exec.Cmd) {
+	t.Helper()
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatalf("kill daemon: %v", err)
+	}
+	cmd.Wait() // exits non-zero ("signal: killed"); only reaping matters
+}
+
+type statusJSON struct {
+	ID       string `json:"id"`
+	State    string `json:"state"`
+	Error    string `json:"error"`
+	Progress struct{ Done, Total int }
+}
+
+func getStatus(t *testing.T, base, id string) statusJSON {
+	t.Helper()
+	resp, err := http.Get(base + "/campaigns/" + id)
+	if err != nil {
+		t.Fatalf("status %s: %v", id, err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %s = %d: %s", id, resp.StatusCode, data)
+	}
+	var st statusJSON
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatalf("status body %q: %v", data, err)
+	}
+	return st
+}
+
+func submitSpec(t *testing.T, base, spec string) string {
+	t.Helper()
+	resp, err := http.Post(base+"/campaigns", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d: %s", resp.StatusCode, data)
+	}
+	var out map[string]string
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("submit response %q: %v", data, err)
+	}
+	return out["id"]
+}
+
+// waitProgress polls until at least n trials are durable, failing if the
+// campaign terminates first (there would be nothing left to interrupt).
+func waitProgress(t *testing.T, base, id string, n int) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		st := getStatus(t, base, id)
+		if st.Progress.Done >= n {
+			return
+		}
+		if st.State == "done" || st.State == "failed" || st.State == "cancelled" {
+			t.Fatalf("campaign %s reached %s before the kill", id, st.State)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign %s never reached %d trials", id, n)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func waitDone(t *testing.T, base, id string) {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		st := getStatus(t, base, id)
+		if st.State == "done" {
+			return
+		}
+		if st.State == "failed" || st.State == "cancelled" {
+			t.Fatalf("campaign %s ended %s: %s", id, st.State, st.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign %s stuck in %s", id, st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func fetchResults(t *testing.T, base, id, format string) string {
+	t.Helper()
+	url := base + "/campaigns/" + id + "/results"
+	if format != "" {
+		url += "?format=" + format
+	}
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("results %s: %v", id, err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("results %s (%s) = %d: %s", id, format, resp.StatusCode, data)
+	}
+	return string(data)
+}
 
 func TestRunBadFlag(t *testing.T) {
 	if err := run([]string{"-definitely-not-a-flag"}, nil); err == nil {
@@ -117,5 +302,111 @@ func TestServeEndToEnd(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("daemon did not shut down")
+	}
+}
+
+// TestKillRestartRecovery is the restart-durability acceptance test: a
+// robustd process is SIGKILLed (no shutdown path runs) mid-campaign, a
+// new daemon on the same data dir must list the campaign as interrupted
+// with accurate progress, serve its partial results in all three formats,
+// and resume it to a table byte-identical to an uninterrupted run. A
+// second kill then checks that -autoresume finishes orphaned work with no
+// operator involvement.
+func TestKillRestartRecovery(t *testing.T) {
+	data := t.TempDir()
+	// 24 slow-ish trials on one worker: enough runway that the kill always
+	// lands mid-run, small enough to finish three full runs in the test.
+	spec := `{"custom":{"workload":"sort/robust","rates":[0.05,0.1,0.2],"iters":3000},"trials":8,"seed":77,"workers":1}`
+	const total = 24
+
+	// Boot 1: submit, let a few trials land, then die like a crash.
+	cmd1, base1 := startDaemon(t, data)
+	id := submitSpec(t, base1, spec)
+	waitProgress(t, base1, id, 2)
+	sigkillDaemon(t, cmd1)
+
+	// Boot 2: plain restart. The campaign must be recovered as interrupted
+	// with its durable progress intact.
+	cmd2, base2 := startDaemon(t, data)
+	st := getStatus(t, base2, id)
+	if st.State != "interrupted" {
+		t.Fatalf("state after restart = %s, want interrupted", st.State)
+	}
+	if st.Progress.Done < 2 || st.Progress.Done >= total || st.Progress.Total != total {
+		t.Fatalf("recovered progress = %+v, want 2 <= done < %d", st.Progress, total)
+	}
+	var list []statusJSON
+	resp, err := http.Get(base2 + "/campaigns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatalf("list body %q: %v", body, err)
+	}
+	if len(list) != 1 || list[0].ID != id {
+		t.Fatalf("restarted list = %+v, want just %s", list, id)
+	}
+	for _, format := range []string{"", "csv", "json"} {
+		fetchResults(t, base2, id, format) // partial results must be servable
+	}
+
+	// Resume over HTTP: only the missing trials run; the table must be
+	// byte-identical to an uninterrupted run of the same spec (freshly
+	// executed below as a second campaign).
+	resp, err = http.Post(base2+"/campaigns/"+id+"/resume", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("resume = %d", resp.StatusCode)
+	}
+	waitDone(t, base2, id)
+	resumedText := fetchResults(t, base2, id, "")
+	resumedCSV := fetchResults(t, base2, id, "csv")
+
+	fresh := submitSpec(t, base2, spec)
+	if fresh == id {
+		t.Fatalf("fresh submit reused recovered id %s", id)
+	}
+	waitDone(t, base2, fresh)
+	if want := fetchResults(t, base2, fresh, ""); resumedText != want {
+		t.Errorf("kill+resume results differ from uninterrupted run:\n--- want ---\n%s--- got ---\n%s",
+			want, resumedText)
+	}
+	if want := fetchResults(t, base2, fresh, "csv"); resumedCSV != want {
+		t.Errorf("kill+resume CSV differs from uninterrupted run")
+	}
+
+	// Kill boot 2 mid-campaign as well, then let -autoresume finish the
+	// orphan without any resume call.
+	third := submitSpec(t, base2, spec)
+	waitProgress(t, base2, third, 2)
+	sigkillDaemon(t, cmd2)
+	_, base3 := startDaemon(t, data, "-autoresume")
+	waitDone(t, base3, third)
+	if want := fetchResults(t, base3, fresh, ""); fetchResults(t, base3, third, "") != want {
+		t.Error("auto-resumed results differ from uninterrupted run")
+	}
+	resp, err = http.Get(base3 + "/campaigns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	list = nil
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatalf("final list %q: %v", body, err)
+	}
+	if len(list) != 3 {
+		t.Fatalf("final list = %d campaigns, want 3: %s", len(list), body)
+	}
+	for _, s := range list {
+		if s.State != "done" {
+			t.Errorf("campaign %s = %s after autoresume boot, want done", s.ID, s.State)
+		}
 	}
 }

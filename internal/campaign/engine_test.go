@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"runtime"
+	"strings"
 	"testing"
 
 	"robustify/internal/figures"
@@ -167,6 +168,56 @@ func TestMidRunTableAndStatus(t *testing.T) {
 	}
 	if status[0].Cells[1].Done != 0 {
 		t.Errorf("cell 1 should be empty: %+v", status[0].Cells[1])
+	}
+}
+
+// TestMidRunTableAlignsByRate: with two series at different completion
+// stages, the mid-run table must print each value against its own rate.
+// TableFromStore skips empty cells, so before rows were aligned by rate
+// value a lagging series' results were paired with the wrong rates.
+func TestMidRunTableAlignsByRate(t *testing.T) {
+	spec := Spec{Figure: "6.1", Quick: true, Trials: 1, Seed: 2}
+	camp, err := Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(camp.Plan.Units) < 2 {
+		t.Fatalf("figure 6.1 has %d units; test needs 2+", len(camp.Plan.Units))
+	}
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	rates := camp.Plan.Units[0].Sweep.Rates
+	// Unit 0 complete; unit 1 holds only its last cell (an in-flight series
+	// whose early cells raced ahead would look the same).
+	for r, rate := range rates {
+		if err := st.Append(Record{Unit: 0, RateIdx: r, TrialIdx: 0, Rate: rate, Value: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	last := len(rates) - 1
+	if err := st.Append(Record{Unit: 1, RateIdx: last, TrialIdx: 0, Rate: rates[last], Value: 2}); err != nil {
+		t.Fatal(err)
+	}
+	var csv bytes.Buffer
+	if err := camp.TableFromStore(st).CSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(csv.String(), "\n"), "\n")
+	if len(lines) != len(rates)+1 {
+		t.Fatalf("csv rows = %d, want %d:\n%s", len(lines), len(rates)+1, csv.String())
+	}
+	for i, line := range lines[1:] {
+		cells := strings.Split(line, ",")
+		got := cells[2]
+		if i == last && got != "2" {
+			t.Errorf("row %s: unit-1 value = %q, want 2 on its own rate's row", cells[0], got)
+		}
+		if i != last && got != "" {
+			t.Errorf("row %s: unit-1 value = %q, want empty (cell has no data)", cells[0], got)
+		}
 	}
 }
 

@@ -3,21 +3,27 @@ package campaign
 import (
 	"context"
 	"fmt"
+	"log"
 	"os"
 	"path/filepath"
 	"sync"
+	"syscall"
 	"time"
 
 	"robustify/internal/harness"
 )
 
-// Campaign lifecycle states.
+// Campaign lifecycle states. StateInterrupted is only ever assigned at
+// recovery: the on-disk meta said queued or running, but the process that
+// owned the campaign is gone — a crash or SIGKILL ended the daemon before
+// the run goroutine could record a terminal state.
 const (
-	StateQueued    = "queued"
-	StateRunning   = "running"
-	StateDone      = "done"
-	StateFailed    = "failed"
-	StateCancelled = "cancelled"
+	StateQueued      = "queued"
+	StateRunning     = "running"
+	StateDone        = "done"
+	StateFailed      = "failed"
+	StateCancelled   = "cancelled"
+	StateInterrupted = "interrupted"
 )
 
 // Status is the externally visible state of one managed campaign.
@@ -49,6 +55,10 @@ type handle struct {
 	err      error
 	started  *time.Time
 	finished *time.Time
+	// userCancel records that Manager.Cancel fired for the current run, so
+	// an explicit cancel that overlaps daemon shutdown is still recorded
+	// as cancelled, not interrupted.
+	userCancel bool
 }
 
 // terminal reports whether the state is one no goroutine will leave.
@@ -56,13 +66,24 @@ func terminal(state string) bool {
 	return state == StateDone || state == StateFailed || state == StateCancelled
 }
 
+// resumable reports whether Resume may reschedule a campaign in this
+// state: its previous run is over (or its previous owner is dead) and the
+// grid is not complete-by-construction.
+func resumable(state string) bool {
+	return state == StateCancelled || state == StateFailed || state == StateInterrupted
+}
+
 // Manager schedules campaigns: each submitted spec is compiled, given a
 // store directory under root, and executed on its own goroutine, with the
-// number of simultaneously running campaigns bounded by slots. A cancelled
-// or failed campaign keeps its store and can be resumed in place.
+// number of simultaneously running campaigns bounded by slots. A
+// cancelled, failed, or interrupted campaign keeps its store and can be
+// resumed in place. Lifecycle state is mirrored to each campaign's
+// meta.json, so a new manager over the same root recovers every prior
+// campaign (see recoverAll).
 type Manager struct {
 	root  string
 	slots chan struct{}
+	lock  *os.File // flock on the data root; held for the manager's lifetime
 
 	mu     sync.Mutex
 	byID   map[string]*handle
@@ -71,17 +92,58 @@ type Manager struct {
 	closed bool
 }
 
-// NewManager creates a manager storing campaign results under root.
-// maxConcurrent bounds simultaneously running campaigns (<=0 means 4).
-func NewManager(root string, maxConcurrent int) *Manager {
+// NewManager creates a manager storing campaign results under root and
+// recovers every campaign a previous daemon left there: each directory
+// with a spec.json is rebuilt from spec + meta + store contents,
+// classified (done/failed/cancelled kept; queued/running becomes
+// interrupted — no process owns them anymore), and registered so it is
+// listable, queryable, and — if interrupted — resumable. Id allocation
+// continues after the highest recovered id. maxConcurrent bounds
+// simultaneously running campaigns (<=0 means 4).
+func NewManager(root string, maxConcurrent int) (*Manager, error) {
 	if maxConcurrent <= 0 {
 		maxConcurrent = 4
 	}
-	return &Manager{
+	m := &Manager{
 		root:  root,
 		slots: make(chan struct{}, maxConcurrent),
 		byID:  make(map[string]*handle),
 	}
+	lock, err := lockRoot(root)
+	if err != nil {
+		return nil, err
+	}
+	m.lock = lock
+	if err := m.recoverAll(); err != nil {
+		unlockRoot(lock)
+		return nil, err
+	}
+	return m, nil
+}
+
+// lockRoot takes an exclusive advisory lock on the data root, refusing to
+// share it with another live manager: recovery classifies queued/running
+// campaigns as ownerless, which is only sound if no other process owns
+// them. flock (unlike a pidfile) is released by the kernel when the
+// holder dies, so a SIGKILLed daemon never wedges its successor.
+func lockRoot(root string) (*os.File, error) {
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, fmt.Errorf("campaign: data root: %w", err)
+	}
+	f, err := os.OpenFile(filepath.Join(root, lockFile), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: lock data root: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("campaign: data root %s is owned by another running daemon: %w", root, err)
+	}
+	return f, nil
+}
+
+func unlockRoot(f *os.File) {
+	syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+	f.Close()
 }
 
 // Submit compiles the spec, opens its store, and schedules it. It returns
@@ -96,8 +158,9 @@ func (m *Manager) Submit(spec Spec) (string, error) {
 		m.mu.Unlock()
 		return "", fmt.Errorf("campaign: manager closed")
 	}
-	// Skip directories left by earlier daemon runs: reusing one would
-	// serve another grid's trials as cached values for this campaign.
+	// nextID already continues past the highest recovered id; the probe
+	// additionally skips stray directories not created by a manager, whose
+	// contents would otherwise be served as cached trials for this grid.
 	var id string
 	for {
 		m.nextID++
@@ -108,12 +171,19 @@ func (m *Manager) Submit(spec Spec) (string, error) {
 	}
 	m.mu.Unlock()
 
-	st, err := Open(filepath.Join(m.root, id))
+	// On any error past this point the freshly created directory must be
+	// removed again: a spec.json (or queued meta.json) left behind by a
+	// failed Submit would be recovered — and autoresumed — on the next
+	// boot as a ghost campaign the client was told does not exist.
+	dir := filepath.Join(m.root, id)
+	st, err := Open(dir)
 	if err != nil {
+		os.RemoveAll(dir)
 		return "", err
 	}
 	if err := st.SaveSpec(spec); err != nil {
 		st.Close()
+		os.RemoveAll(dir)
 		return "", err
 	}
 	ctx, cancel := context.WithCancel(context.Background())
@@ -125,6 +195,12 @@ func (m *Manager) Submit(spec Spec) (string, error) {
 		created: time.Now(),
 		state:   StateQueued,
 	}
+	if err := h.saveMetaLocked(); err != nil { // no goroutine sees h yet
+		cancel()
+		st.Close()
+		os.RemoveAll(dir)
+		return "", err
+	}
 	// Register and launch under m.mu so a concurrent Close either refuses
 	// this campaign here or sees it in byID and winds it down.
 	m.mu.Lock()
@@ -132,6 +208,7 @@ func (m *Manager) Submit(spec Spec) (string, error) {
 		m.mu.Unlock()
 		cancel()
 		st.Close()
+		os.RemoveAll(dir)
 		return "", fmt.Errorf("campaign: manager closed")
 	}
 	m.byID[id] = h
@@ -141,8 +218,11 @@ func (m *Manager) Submit(spec Spec) (string, error) {
 	return id, nil
 }
 
-// Resume reschedules a cancelled or failed campaign. Its store already
-// holds every completed trial, so only the remainder of the grid runs.
+// Resume reschedules a cancelled, failed, or interrupted campaign. Its
+// store already holds every completed trial, so only the remainder of the
+// grid runs; the final table is byte-identical to an uninterrupted run.
+// Interrupted campaigns are handles recovered at startup, so Resume is
+// also how a restarted daemon finishes work a crash orphaned.
 func (m *Manager) Resume(id string) error {
 	h, err := m.handleByID(id)
 	if err != nil {
@@ -151,8 +231,8 @@ func (m *Manager) Resume(id string) error {
 	h.mu.Lock()
 	state, done := h.state, h.done
 	h.mu.Unlock()
-	if state != StateCancelled && state != StateFailed {
-		return fmt.Errorf("campaign: %s is %s; only cancelled or failed campaigns resume", id, state)
+	if !resumable(state) {
+		return fmt.Errorf("campaign: %s is %s; only cancelled, failed, or interrupted campaigns resume", id, state)
 	}
 	<-done // the previous run goroutine has fully exited
 
@@ -167,7 +247,7 @@ func (m *Manager) Resume(id string) error {
 		return fmt.Errorf("campaign: manager closed")
 	}
 	h.mu.Lock()
-	if h.state != StateCancelled && h.state != StateFailed { // lost a race with another Resume
+	if !resumable(h.state) { // lost a race with another Resume
 		h.mu.Unlock()
 		cancel()
 		return fmt.Errorf("campaign: %s already resumed", id)
@@ -175,14 +255,34 @@ func (m *Manager) Resume(id string) error {
 	h.state = StateQueued
 	h.err = nil
 	h.finished = nil
+	h.userCancel = false
 	h.exec = NewExecution(h.camp, h.st)
 	h.cancel = cancel
 	h.done = make(chan struct{})
 	done = h.done
+	h.persistLocked()
 	h.mu.Unlock()
 
 	go m.run(ctx, h, done)
 	return nil
+}
+
+// ResumeInterrupted reschedules every campaign currently classified as
+// interrupted (the -autoresume startup path) and returns the ids it
+// resumed.
+func (m *Manager) ResumeInterrupted() []string {
+	var ids []string
+	for _, s := range m.List() {
+		if s.State != StateInterrupted {
+			continue
+		}
+		if err := m.Resume(s.ID); err != nil {
+			log.Printf("campaign: autoresume %s: %v", s.ID, err)
+			continue
+		}
+		ids = append(ids, s.ID)
+	}
+	return ids
 }
 
 func (m *Manager) run(ctx context.Context, h *handle, done chan struct{}) {
@@ -191,7 +291,7 @@ func (m *Manager) run(ctx context.Context, h *handle, done chan struct{}) {
 	case m.slots <- struct{}{}:
 		defer func() { <-m.slots }()
 	case <-ctx.Done():
-		h.finish(StateCancelled, nil)
+		h.finish(m.stopState(h), nil)
 		return
 	}
 	now := time.Now()
@@ -199,6 +299,7 @@ func (m *Manager) run(ctx context.Context, h *handle, done chan struct{}) {
 	h.state = StateRunning
 	h.started = &now
 	exec := h.exec
+	h.persistLocked()
 	h.mu.Unlock()
 
 	err := exec.Run(ctx)
@@ -206,10 +307,33 @@ func (m *Manager) run(ctx context.Context, h *handle, done chan struct{}) {
 	case err == nil:
 		h.finish(StateDone, nil)
 	case ctx.Err() != nil:
-		h.finish(StateCancelled, nil)
+		h.finish(m.stopState(h), nil)
 	default:
 		h.finish(StateFailed, err)
 	}
+}
+
+// stopState names why a run's context was cancelled. An explicit Cancel
+// is a deliberate, terminal choice and wins even when it overlaps
+// shutdown; otherwise a closing manager (daemon wind-down) leaves the
+// campaign interrupted — the same state a crash produces, so the next
+// boot lists it as unfinished and -autoresume picks it up. The locks are
+// taken sequentially, never nested, to keep the m.mu -> h.mu order used
+// elsewhere.
+func (m *Manager) stopState(h *handle) string {
+	h.mu.Lock()
+	user := h.userCancel
+	h.mu.Unlock()
+	if user {
+		return StateCancelled
+	}
+	m.mu.Lock()
+	closed := m.closed
+	m.mu.Unlock()
+	if closed {
+		return StateInterrupted
+	}
+	return StateCancelled
 }
 
 func (h *handle) finish(state string, err error) {
@@ -218,7 +342,35 @@ func (h *handle) finish(state string, err error) {
 	h.state = state
 	h.err = err
 	h.finished = &now
+	h.persistLocked()
 	h.mu.Unlock()
+}
+
+// saveMetaLocked writes the handle's lifecycle state to its meta.json;
+// h.mu must be held (or the handle not yet shared).
+func (h *handle) saveMetaLocked() error {
+	m := Meta{
+		ID:       h.id,
+		Name:     h.spec.Title(),
+		State:    h.state,
+		Created:  h.created,
+		Started:  h.started,
+		Finished: h.finished,
+	}
+	if h.err != nil {
+		m.Error = h.err.Error()
+	}
+	return writeMeta(h.st.Dir(), m)
+}
+
+// persistLocked is saveMetaLocked for callers that cannot propagate the
+// error (state transitions already committed in memory): a failed write
+// only costs registry accuracy across a restart, so it is logged, not
+// fatal.
+func (h *handle) persistLocked() {
+	if err := h.saveMetaLocked(); err != nil {
+		log.Printf("campaign: %s: persist state: %v", h.id, err)
+	}
 }
 
 func (h *handle) status(withUnits bool) Status {
@@ -277,14 +429,24 @@ func (m *Manager) Get(id string) (Status, error) {
 	return h.status(true), nil
 }
 
-// Cancel stops a running (or queued) campaign. Completed trials stay in
-// the store; Resume picks up where it left off.
+// Cancel stops a running (or queued) campaign; completed trials stay in
+// the store and Resume picks up where it left off. Cancelling a
+// recovered interrupted campaign — which no goroutine owns — flips it
+// straight to cancelled so /resume stays possible but -autoresume treats
+// the operator's decision as final.
 func (m *Manager) Cancel(id string) error {
 	h, err := m.handleByID(id)
 	if err != nil {
 		return err
 	}
 	h.mu.Lock()
+	if h.state == StateInterrupted {
+		h.state = StateCancelled
+		h.persistLocked()
+		h.mu.Unlock()
+		return nil
+	}
+	h.userCancel = true
 	cancel := h.cancel
 	h.mu.Unlock()
 	cancel()
@@ -340,4 +502,5 @@ func (m *Manager) Close() {
 		<-done
 		h.st.Close()
 	}
+	unlockRoot(m.lock)
 }

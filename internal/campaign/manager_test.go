@@ -11,13 +11,22 @@ func quickSpec(rate float64, seed uint64, trials int) Spec {
 	}
 }
 
+func newManager(t *testing.T, root string, maxConcurrent int) *Manager {
+	t.Helper()
+	m, err := NewManager(root, maxConcurrent)
+	if err != nil {
+		t.Fatalf("NewManager(%s): %v", root, err)
+	}
+	return m
+}
+
 // TestManagerRestartDoesNotReuseStores pins the restart behavior: a new
 // manager over an old data directory must never hand a fresh campaign a
 // previous run's store, whose records would be served as cached trials
 // for a different grid.
 func TestManagerRestartDoesNotReuseStores(t *testing.T) {
 	root := t.TempDir()
-	m1 := NewManager(root, 1)
+	m1 := newManager(t, root, 1)
 	id1, err := m1.Submit(quickSpec(0.01, 1, 1))
 	if err != nil {
 		t.Fatalf("submit: %v", err)
@@ -27,7 +36,7 @@ func TestManagerRestartDoesNotReuseStores(t *testing.T) {
 	}
 	m1.Close()
 
-	m2 := NewManager(root, 1)
+	m2 := newManager(t, root, 1)
 	defer m2.Close()
 	id2, err := m2.Submit(quickSpec(0.5, 99, 3))
 	if err != nil {
@@ -48,8 +57,25 @@ func TestManagerRestartDoesNotReuseStores(t *testing.T) {
 	}
 }
 
+// TestManagerDataRootLock: two live managers on one data root would both
+// classify the other's running campaigns as ownerless and race on the
+// same stores, so the second must be refused until the first closes.
+func TestManagerDataRootLock(t *testing.T) {
+	root := t.TempDir()
+	m1 := newManager(t, root, 1)
+	if _, err := NewManager(root, 1); err == nil {
+		t.Fatal("second manager on a held data root accepted")
+	}
+	m1.Close()
+	m2, err := NewManager(root, 1)
+	if err != nil {
+		t.Fatalf("manager after clean close: %v", err)
+	}
+	m2.Close()
+}
+
 func TestManagerSubmitAfterClose(t *testing.T) {
-	m := NewManager(t.TempDir(), 1)
+	m := newManager(t, t.TempDir(), 1)
 	m.Close()
 	if _, err := m.Submit(quickSpec(0.01, 1, 1)); err == nil {
 		t.Error("submit after close accepted")

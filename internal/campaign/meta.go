@@ -1,0 +1,78 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// metaFile is the per-campaign lifecycle record, written beside
+// spec.json/trials.jsonl at every state transition. Together the three
+// files make a campaign directory self-describing: spec identifies the
+// grid, trials.jsonl holds the durable results, and meta.json records
+// where in its lifecycle the campaign was when the daemon last touched
+// it — which is what lets a restarted daemon rebuild its registry.
+const metaFile = "meta.json"
+
+// Meta is the persisted lifecycle state of one campaign.
+type Meta struct {
+	ID       string     `json:"id"`
+	Name     string     `json:"name"`
+	State    string     `json:"state"`
+	Error    string     `json:"error,omitempty"`
+	Created  time.Time  `json:"created"`
+	Started  *time.Time `json:"started,omitempty"`
+	Finished *time.Time `json:"finished,omitempty"`
+}
+
+// writeMeta atomically replaces dir's meta.json: the record is written to
+// a temp file, fsync'd, then renamed over the old one, so a crash
+// mid-update leaves either the old record or the new one, never a torn
+// file. (The rename itself is not directory-fsync'd; after a power loss,
+// as opposed to a process crash, the previous record may reappear — which
+// recovery handles like any other stale state.)
+func writeMeta(dir string, m Meta) error {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, metaFile+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("campaign: write meta: %w", err)
+	}
+	_, werr := f.Write(append(b, '\n'))
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("campaign: write meta: %w", werr)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, metaFile)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("campaign: replace meta: %w", err)
+	}
+	return nil
+}
+
+// readMeta loads dir's meta.json; ok is false when none exists (a store
+// written by a pre-registry daemon).
+func readMeta(dir string) (m Meta, ok bool, err error) {
+	b, err := os.ReadFile(filepath.Join(dir, metaFile))
+	if os.IsNotExist(err) {
+		return Meta{}, false, nil
+	}
+	if err != nil {
+		return Meta{}, false, err
+	}
+	if err := json.Unmarshal(b, &m); err != nil {
+		return Meta{}, false, fmt.Errorf("campaign: corrupt %s: %w", metaFile, err)
+	}
+	return m, true, nil
+}

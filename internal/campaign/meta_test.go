@@ -1,0 +1,61 @@
+package campaign
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestMetaRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	if _, ok, err := readMeta(dir); err != nil || ok {
+		t.Fatalf("empty dir readMeta = ok=%v err=%v, want absent", ok, err)
+	}
+	started := time.Date(2026, 7, 28, 10, 0, 0, 0, time.UTC)
+	m := Meta{
+		ID: "c0042", Name: "fig-6.1", State: StateFailed, Error: "boom",
+		Created: started.Add(-time.Minute), Started: &started,
+	}
+	if err := writeMeta(dir, m); err != nil {
+		t.Fatalf("writeMeta: %v", err)
+	}
+	got, ok, err := readMeta(dir)
+	if err != nil || !ok {
+		t.Fatalf("readMeta: ok=%v err=%v", ok, err)
+	}
+	if got.ID != m.ID || got.Name != m.Name || got.State != m.State || got.Error != m.Error {
+		t.Errorf("meta round trip = %+v, want %+v", got, m)
+	}
+	if !got.Created.Equal(m.Created) || got.Started == nil || !got.Started.Equal(started) || got.Finished != nil {
+		t.Errorf("meta times round trip = %+v", got)
+	}
+	// The atomic-replace temp file must not linger.
+	if _, err := os.Stat(filepath.Join(dir, metaFile+".tmp")); !os.IsNotExist(err) {
+		t.Errorf("temp meta file left behind (err=%v)", err)
+	}
+}
+
+func TestMetaOverwriteIsAtomicReplace(t *testing.T) {
+	dir := t.TempDir()
+	if err := writeMeta(dir, Meta{ID: "c0001", State: StateRunning}); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeMeta(dir, Meta{ID: "c0001", State: StateDone}); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := readMeta(dir)
+	if err != nil || !ok || got.State != StateDone {
+		t.Fatalf("after overwrite: %+v ok=%v err=%v, want done", got, ok, err)
+	}
+}
+
+func TestMetaCorruptIsAnError(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, metaFile), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := readMeta(dir); err == nil {
+		t.Error("corrupt meta.json read without error")
+	}
+}

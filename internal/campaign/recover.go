@@ -1,0 +1,148 @@
+package campaign
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// recoverAll rebuilds the manager's registry from the data root: every
+// subdirectory holding a spec.json becomes a handle again, classified from
+// its meta.json. It runs once, from NewManager, before the manager is
+// shared, so no locking is needed. Directories that cannot be recovered
+// (unreadable spec, grid no longer compilable) are logged and skipped
+// rather than failing the whole daemon; their names still advance the id
+// counter so new campaigns never collide with them.
+func (m *Manager) recoverAll() error {
+	entries, err := os.ReadDir(m.root)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("campaign: scan data root: %w", err)
+	}
+	for _, e := range entries { // ReadDir sorts by name, so ids stay ordered
+		if !e.IsDir() {
+			continue
+		}
+		if n, ok := campaignID(e.Name()); ok && n > m.nextID {
+			m.nextID = n
+		}
+		h, err := recoverHandle(e.Name(), filepath.Join(m.root, e.Name()))
+		if err != nil {
+			log.Printf("campaign: skipping unrecoverable %s: %v", filepath.Join(m.root, e.Name()), err)
+			continue
+		}
+		if h == nil {
+			continue // not a campaign directory
+		}
+		m.byID[h.id] = h
+		m.order = append(m.order, h.id)
+	}
+	return nil
+}
+
+// campaignID parses a manager-allocated directory name ("c0042" -> 42).
+func campaignID(name string) (int, bool) {
+	if len(name) < 2 || name[0] != 'c' {
+		return 0, false
+	}
+	n, err := strconv.Atoi(name[1:])
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// recoverHandle rebuilds one campaign from its directory. It returns
+// (nil, nil) when dir holds no spec.json — the directory is not a
+// campaign and is left alone.
+//
+// Classification: terminal meta states (done/failed/cancelled) are kept
+// as recorded. Everything else — queued/running metas whose owner died,
+// unreadable or absent metas — is classified from the store itself:
+// complete grid -> done, anything less -> interrupted.
+func recoverHandle(id, dir string) (*handle, error) {
+	specBytes, err := os.ReadFile(filepath.Join(dir, specFile))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	spec, err := ParseSpec(specBytes)
+	if err != nil {
+		return nil, err
+	}
+	camp, err := Compile(spec)
+	if err != nil {
+		return nil, err
+	}
+	meta, hasMeta, err := readMeta(dir)
+	if err != nil {
+		// The spec and trial data are intact; a damaged meta.json alone
+		// must not orphan them. Fall back to the no-meta classification
+		// below, which rebuilds state from store contents.
+		log.Printf("campaign: %s: unreadable meta, reclassifying from store: %v", id, err)
+		meta, hasMeta = Meta{}, false
+	}
+	st, err := Open(dir)
+	if err != nil {
+		return nil, err
+	}
+
+	state := meta.State
+	if !hasMeta || !terminal(state) {
+		// Either no meta at all (pre-registry daemon), or a state no
+		// goroutine can still own — queued, running, interrupted, or an
+		// unknown value from a newer daemon. Classify from the store: a
+		// complete grid is done (the daemon died after the last trial's
+		// append but before the terminal meta write); anything less is
+		// interrupted. done/failed/cancelled metas are kept as recorded —
+		// the run goroutine persisted them before exiting.
+		if st.Count() >= camp.Total() {
+			state = StateDone
+		} else {
+			state = StateInterrupted
+		}
+	}
+
+	created := meta.Created
+	if created.IsZero() {
+		// Best effort for pre-registry directories: the spec is written
+		// exactly once, at submission.
+		if fi, err := os.Stat(filepath.Join(dir, specFile)); err == nil {
+			created = fi.ModTime()
+		}
+	}
+
+	done := make(chan struct{})
+	close(done) // no goroutine owns a recovered campaign until Resume
+	h := &handle{
+		id:       id,
+		spec:     spec,
+		camp:     camp,
+		st:       st,
+		exec:     NewExecution(camp, st),
+		cancel:   func() {},
+		done:     done,
+		created:  created,
+		state:    state,
+		started:  meta.Started,
+		finished: meta.Finished,
+	}
+	if meta.Error != "" {
+		h.err = errors.New(meta.Error)
+	}
+	// Persist the classification so meta.json always names the state the
+	// daemon will report (and so pre-registry directories gain a meta).
+	if !hasMeta || meta.State != state || meta.ID != id {
+		if err := h.saveMetaLocked(); err != nil {
+			log.Printf("campaign: %s: persist recovered meta: %v", id, err)
+		}
+	}
+	return h, nil
+}

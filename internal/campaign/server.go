@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
 
 	"robustify/internal/harness"
@@ -16,7 +17,7 @@ import (
 //	GET    /campaigns/{id}          status with live per-cell statistics
 //	GET    /campaigns/{id}/results  materialized table; ?format=text|csv|json
 //	POST   /campaigns/{id}/cancel   stop; completed trials stay durable
-//	POST   /campaigns/{id}/resume   reschedule a cancelled/failed campaign
+//	POST   /campaigns/{id}/resume   reschedule a cancelled/failed/interrupted campaign
 //	GET    /workloads               custom-sweep workload registry
 //	GET    /healthz                 liveness
 func NewServer(m *Manager) http.Handler {
@@ -63,10 +64,14 @@ func NewServer(m *Manager) http.Handler {
 		switch format := r.URL.Query().Get("format"); format {
 		case "", "text":
 			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-			table.Render(w)
+			if err := table.Render(w); err != nil {
+				log.Printf("campaign: render results for %s: %v", r.PathValue("id"), err)
+			}
 		case "csv":
 			w.Header().Set("Content-Type", "text/csv")
-			table.CSV(w)
+			if err := table.CSV(w); err != nil {
+				log.Printf("campaign: write csv results for %s: %v", r.PathValue("id"), err)
+			}
 		case "json":
 			writeJSON(w, http.StatusOK, tableJSON(table))
 		default:
@@ -115,7 +120,11 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	// The status line is gone, so an encode failure (almost always the
+	// client hanging up mid-body) can only be logged, not reported.
+	if err := enc.Encode(v); err != nil {
+		log.Printf("campaign: write response: %v", err)
+	}
 }
 
 func httpError(w http.ResponseWriter, code int, err error) {

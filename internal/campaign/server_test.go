@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -14,7 +15,7 @@ import (
 
 func newTestServer(t *testing.T, maxConcurrent int) (*httptest.Server, *Manager) {
 	t.Helper()
-	m := NewManager(t.TempDir(), maxConcurrent)
+	m := newManager(t, t.TempDir(), maxConcurrent)
 	srv := httptest.NewServer(NewServer(m))
 	t.Cleanup(func() {
 		srv.Close()
@@ -214,6 +215,64 @@ func TestServerCancelResume(t *testing.T) {
 	r.Body.Close()
 	if string(text) != wantText {
 		t.Errorf("resumed results differ from uninterrupted run:\n--- want ---\n%s--- got ---\n%s", wantText, text)
+	}
+}
+
+// TestServerRecoveredCampaign: a daemon restarted on an existing data dir
+// must list the prior campaign as interrupted, serve its partial results
+// in all three formats, and resume it over HTTP to a table byte-identical
+// to an uninterrupted run.
+func TestServerRecoveredCampaign(t *testing.T) {
+	spec := Spec{
+		Custom: &CustomSweep{Workload: "sort/base", Rates: []float64{0.01, 0.2, 0.5}},
+		Trials: 3, Seed: 41,
+	}
+	wantText, _ := runAll(t, spec)
+	root := t.TempDir()
+	now := time.Now()
+	seedCampaignDir(t, filepath.Join(root, "c0001"), spec, 4, &Meta{
+		ID: "c0001", Name: spec.Title(), State: StateRunning, Created: now, Started: &now,
+	})
+
+	m := newManager(t, root, 1)
+	srv := httptest.NewServer(NewServer(m))
+	t.Cleanup(func() {
+		srv.Close()
+		m.Close()
+	})
+
+	var list []Status
+	doJSON(t, "GET", srv.URL+"/campaigns", "", http.StatusOK, &list)
+	if len(list) != 1 || list[0].ID != "c0001" || list[0].State != StateInterrupted {
+		t.Fatalf("recovered list = %+v, want one interrupted c0001", list)
+	}
+	if list[0].Progress.Done != 4 || list[0].Progress.Total != 9 {
+		t.Errorf("recovered progress = %+v, want 4/9", list[0].Progress)
+	}
+
+	for _, format := range []string{"", "?format=csv", "?format=json"} {
+		resp, err := http.Get(srv.URL + "/campaigns/c0001/results" + format)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("recovered results %q = %d", format, resp.StatusCode)
+		}
+	}
+
+	doJSON(t, "POST", srv.URL+"/campaigns/c0001/resume", "", http.StatusAccepted, nil)
+	waitState(t, srv.URL, "c0001", StateDone)
+	resp, err := http.Get(srv.URL + "/campaigns/c0001/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(text) != wantText {
+		t.Errorf("resumed recovered results differ from uninterrupted run:\n--- want ---\n%s--- got ---\n%s",
+			wantText, text)
 	}
 }
 

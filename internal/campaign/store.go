@@ -4,15 +4,19 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sync"
 )
 
-// storeFile and specFile are the on-disk layout of one campaign directory.
+// storeFile, specFile, and metaFile (see meta.go) are the on-disk layout
+// of one campaign directory; lockFile lives in the data root itself and
+// serializes daemon ownership of the whole tree.
 const (
 	storeFile = "trials.jsonl"
 	specFile  = "spec.json"
+	lockFile  = ".lock"
 )
 
 // Record is one completed trial, one JSON line in the store. The
@@ -46,6 +50,14 @@ type Store struct {
 	have map[trialKey]float64
 }
 
+// maxLineBytes bounds how much of one store line is kept in memory while
+// loading. A legitimate Record line is tens of bytes; anything beyond the
+// cap is corruption (or not our file) and is dropped like a torn line —
+// the store keeps loading and only that trial reruns. A bufio.Scanner
+// here would instead return ErrTooLong and abandon every later record,
+// leaving the campaign permanently unresumable.
+const maxLineBytes = 1 << 20
+
 // Open creates (or reopens) the campaign directory and loads every record
 // already present, deduplicating by trial key.
 func Open(dir string) (*Store, error) {
@@ -55,18 +67,10 @@ func Open(dir string) (*Store, error) {
 	path := filepath.Join(dir, storeFile)
 	st := &Store{dir: dir, have: make(map[trialKey]float64)}
 	if data, err := os.Open(path); err == nil {
-		sc := bufio.NewScanner(data)
-		sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-		for sc.Scan() {
-			var rec Record
-			if json.Unmarshal(sc.Bytes(), &rec) != nil {
-				continue // torn or corrupt line: drop, the trial will rerun
-			}
-			st.have[trialKey{rec.Unit, rec.RateIdx, rec.TrialIdx}] = rec.Value
-		}
+		loadErr := st.load(data)
 		closeErr := data.Close()
-		if err := sc.Err(); err != nil {
-			return nil, fmt.Errorf("campaign: read store: %w", err)
+		if loadErr != nil {
+			return nil, fmt.Errorf("campaign: read store: %w", loadErr)
 		}
 		if closeErr != nil {
 			return nil, closeErr
@@ -81,6 +85,48 @@ func Open(dir string) (*Store, error) {
 	st.f = f
 	st.w = bufio.NewWriter(f)
 	return st, nil
+}
+
+// load replays the store file into st.have. Unparseable, torn, and
+// oversized (>maxLineBytes) lines are skipped — those trials simply
+// rerun — so a single corrupt line never blocks reopening a campaign.
+func (st *Store) load(data io.Reader) error {
+	r := bufio.NewReaderSize(data, 64*1024)
+	for {
+		line, tooLong, err := readLine(r)
+		if len(line) > 0 && !tooLong {
+			var rec Record
+			if json.Unmarshal(line, &rec) == nil {
+				st.have[trialKey{rec.Unit, rec.RateIdx, rec.TrialIdx}] = rec.Value
+			}
+		}
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// readLine reads one newline-delimited line, retaining at most
+// maxLineBytes of it; the remainder of an oversized line is consumed and
+// discarded, with tooLong reporting the overflow. err is io.EOF at end of
+// input (the final unterminated line, if any, is still returned).
+func readLine(r *bufio.Reader) (line []byte, tooLong bool, err error) {
+	for {
+		chunk, err := r.ReadSlice('\n')
+		if !tooLong {
+			line = append(line, chunk...)
+			if len(line) > maxLineBytes {
+				line, tooLong = nil, true
+			}
+		}
+		if err == bufio.ErrBufferFull {
+			continue
+		}
+		return line, tooLong, err
+	}
 }
 
 // Dir returns the campaign directory backing the store.

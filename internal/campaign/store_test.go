@@ -3,6 +3,7 @@ package campaign
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -82,6 +83,49 @@ func TestStoreToleratesTornTrailingLine(t *testing.T) {
 	}
 	if v, ok := st2.Lookup(0, 0, 1); !ok || v != 0.5 {
 		t.Errorf("re-recorded trial = %v,%v", v, ok)
+	}
+}
+
+// TestStoreToleratesOversizedLine: one absurdly long line (corruption —
+// real records are tens of bytes) must not make the campaign permanently
+// unresumable. bufio.Scanner would return ErrTooLong and hard-fail Open,
+// also losing every record after the bad line.
+func TestStoreToleratesOversizedLine(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if err := st.Append(Record{Unit: 0, RateIdx: 0, TrialIdx: 0, Value: 1}); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	st.Close()
+
+	f, err := os.OpenFile(filepath.Join(dir, storeFile), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(strings.Repeat("x", maxLineBytes+512) + "\n")
+	f.WriteString(`{"u":0,"r":0,"t":2,"v":4}` + "\n") // records after the bad line must survive
+	f.Close()
+
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen with oversized line: %v", err)
+	}
+	defer st2.Close()
+	if got := st2.Count(); got != 2 {
+		t.Errorf("count = %d, want 2 (oversized line dropped, later record kept)", got)
+	}
+	if v, ok := st2.Lookup(0, 0, 2); !ok || v != 4 {
+		t.Errorf("record after oversized line = %v,%v; want 4,true", v, ok)
+	}
+	// The dropped trial simply reruns.
+	if err := st2.Append(Record{Unit: 0, RateIdx: 0, TrialIdx: 1, Value: 0.5}); err != nil {
+		t.Fatalf("re-append: %v", err)
+	}
+	if got := st2.Count(); got != 3 {
+		t.Errorf("count after rerun = %d, want 3", got)
 	}
 }
 

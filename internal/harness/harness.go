@@ -256,12 +256,13 @@ func (t *Table) Render(w io.Writer) error {
 	}
 	rows := [][]string{header}
 	xs := t.xValues()
+	next := make([]int, len(t.Series))
 	for i := range xs {
 		row := make([]string, 0, len(header))
 		row = append(row, formatRate(xs[i]))
-		for _, s := range t.Series {
-			if i < len(s.Points) {
-				row = append(row, formatValue(s.Points[i].Value))
+		for si, s := range t.Series {
+			if v, ok := seriesCell(s, next, si, xs[i]); ok {
+				row = append(row, formatValue(v))
 			} else {
 				row = append(row, "-")
 			}
@@ -304,11 +305,12 @@ func (t *Table) CSV(w io.Writer) error {
 		return err
 	}
 	xs := t.xValues()
-	for i, x := range xs {
+	next := make([]int, len(t.Series))
+	for _, x := range xs {
 		row := []string{fmt.Sprintf("%g", x)}
-		for _, s := range t.Series {
-			if i < len(s.Points) {
-				row = append(row, fmt.Sprintf("%g", s.Points[i].Value))
+		for si, s := range t.Series {
+			if v, ok := seriesCell(s, next, si, x); ok {
+				row = append(row, fmt.Sprintf("%g", v))
 			} else {
 				row = append(row, "")
 			}
@@ -320,18 +322,56 @@ func (t *Table) CSV(w io.Writer) error {
 	return nil
 }
 
-// xValues returns the x-axis values from the longest series.
+// xValues returns the table's x axis: the order-preserving union of every
+// series' rate values. Each series' points are (a subsequence of) the
+// sweep grid in grid order, so merging keeps grid order, and a series
+// that is only partially complete still gets its values printed against
+// its own rates instead of being index-paired with another series' grid.
 func (t *Table) xValues() []float64 {
 	var xs []float64
 	for _, s := range t.Series {
-		if len(s.Points) > len(xs) {
-			xs = xs[:0]
-			for _, p := range s.Points {
-				xs = append(xs, p.Rate)
-			}
-		}
+		xs = mergeRates(xs, s.Points)
 	}
 	return xs
+}
+
+// mergeRates folds the points' rates into xs, preserving the relative
+// order of both sequences (an order-preserving union of two subsequences
+// of a common grid).
+func mergeRates(xs []float64, pts []Point) []float64 {
+	out := make([]float64, 0, len(xs))
+	i := 0
+	for _, p := range pts {
+		at := -1
+		for k := i; k < len(xs); k++ {
+			if xs[k] == p.Rate {
+				at = k
+				break
+			}
+		}
+		if at >= 0 {
+			out = append(out, xs[i:at+1]...)
+			i = at + 1
+		} else {
+			out = append(out, p.Rate)
+		}
+	}
+	return append(out, xs[i:]...)
+}
+
+// seriesCell returns s's value for the row at rate x, advancing the
+// series' cursor next[si] past consumed points. Walking a cursor instead
+// of searching keeps duplicate rates (distinct cells sharing an x value)
+// attached to their own rows when every earlier duplicate is present.
+// Known limit: Point carries no rate index, so mid-run, a series holding
+// only the LATER of two equal-rate cells prints it on the first matching
+// row; the table is correct once the earlier cell completes.
+func seriesCell(s Series, next []int, si int, x float64) (float64, bool) {
+	if n := next[si]; n < len(s.Points) && s.Points[n].Rate == x {
+		next[si] = n + 1
+		return s.Points[n].Value, true
+	}
+	return 0, false
 }
 
 func formatRate(r float64) string {

@@ -169,6 +169,81 @@ func TestTableRaggedSeries(t *testing.T) {
 	}
 }
 
+// TestTableAlignsRowsByRate pins mid-run alignment: a partially complete
+// series (its points are a subsequence of the grid, gaps skipped) must
+// print each value on the row of its own rate. Index pairing against the
+// longest series would put B's 0.5 value on the 0.2 row.
+func TestTableAlignsRowsByRate(t *testing.T) {
+	tab := &Table{
+		Title: "mid-run",
+		Series: []Series{
+			{Name: "A", Points: []Point{{Rate: 0.1, Value: 1}, {Rate: 0.2, Value: 2}, {Rate: 0.5, Value: 3}}},
+			{Name: "B", Points: []Point{{Rate: 0.1, Value: 10}, {Rate: 0.5, Value: 30}}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := tab.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "rate,A,B\n0.1,1,10\n0.2,2,\n0.5,3,30\n"
+	if buf.String() != want {
+		t.Errorf("csv rows misaligned:\n--- want ---\n%s--- got ---\n%s", want, buf.String())
+	}
+
+	buf.Reset()
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(buf.String(), "\n") {
+		f := strings.Fields(line)
+		if len(f) == 3 && f[0] == "0.2" && f[2] != "-" {
+			t.Errorf("render pairs B's value against the wrong rate: %q", line)
+		}
+		if len(f) == 3 && f[0] == "0.5" && f[2] != "30" {
+			t.Errorf("render row 0.5 = %q, want B=30", line)
+		}
+	}
+}
+
+// TestTableAlignsSparseLeadingGap covers a series whose first cells are
+// still empty: its only point must land on the matching rate row, not on
+// row one.
+func TestTableAlignsSparseLeadingGap(t *testing.T) {
+	tab := &Table{
+		Series: []Series{
+			{Name: "full", Points: []Point{{Rate: 1, Value: 1}, {Rate: 2, Value: 2}, {Rate: 4, Value: 3}}},
+			{Name: "tail", Points: []Point{{Rate: 4, Value: 99}}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := tab.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "rate,full,tail\n1,1,\n2,2,\n4,3,99\n"
+	if buf.String() != want {
+		t.Errorf("leading-gap alignment:\n--- want ---\n%s--- got ---\n%s", want, buf.String())
+	}
+}
+
+// TestTableDuplicateRates: duplicate rates are distinct cells (e.g.
+// before/after pairs sharing an x value); each must keep its own row.
+func TestTableDuplicateRates(t *testing.T) {
+	tab := &Table{
+		Series: []Series{
+			{Name: "A", Points: []Point{{Rate: 0.1, Value: 1}, {Rate: 0.1, Value: 2}}},
+			{Name: "B", Points: []Point{{Rate: 0.1, Value: 3}, {Rate: 0.1, Value: 4}}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := tab.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "rate,A,B\n0.1,1,3\n0.1,2,4\n"
+	if buf.String() != want {
+		t.Errorf("duplicate-rate rows:\n--- want ---\n%s--- got ---\n%s", want, buf.String())
+	}
+}
+
 func TestSweepZeroTrialsDefaultsToOne(t *testing.T) {
 	s := Sweep{Rates: []float64{0.5}, Seed: 1}
 	n := 0
