@@ -9,9 +9,18 @@
 // are reported as "interrupted" and can be resumed (automatically, with
 // -autoresume), re-executing only the trials the crash lost.
 //
+// With -workers-expected > 0 robustd stops executing trials itself and
+// becomes the coordinator of a robustworker fleet: campaign grids are
+// carved into shard leases that workers pull over HTTP and stream
+// results back for; expired leases (a killed worker) are reassigned, and
+// the finished table is byte-identical to an in-process run. See
+// cmd/robustworker.
+//
 // Usage:
 //
 //	robustd [-addr :8080] [-data DIR] [-concurrency N] [-autoresume]
+//	        [-workers-expected N] [-lease-ttl 30s] [-shard-size 16]
+//	        [-shutdown-timeout 30s]
 //
 // See README.md for the endpoint list, on-disk layout, and curl examples.
 package main
@@ -30,6 +39,7 @@ import (
 	"time"
 
 	"robustify/internal/campaign"
+	"robustify/internal/dispatch"
 )
 
 func main() {
@@ -49,6 +59,13 @@ func run(args []string, ready chan<- string) error {
 		data        = fs.String("data", "robustd-data", "campaign store directory")
 		concurrency = fs.Int("concurrency", 4, "max concurrently running campaigns")
 		autoresume  = fs.Bool("autoresume", false, "restart interrupted campaigns on boot")
+		workers     = fs.Int("workers-expected", 0,
+			"size of the robustworker fleet; >0 dispatches trials to workers instead of running them in-process")
+		leaseTTL = fs.Duration("lease-ttl", 30*time.Second,
+			"how long a worker may go between reports before its shard is reassigned")
+		shardSize = fs.Int("shard-size", 16, "trials per worker shard lease")
+		shutdownT = fs.Duration("shutdown-timeout", 30*time.Second,
+			"bound on graceful shutdown (SIGTERM/SIGINT); 0 waits indefinitely on in-flight trials")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -59,6 +76,15 @@ func run(args []string, ready chan<- string) error {
 		return err
 	}
 	defer m.Close()
+	if *workers > 0 {
+		m.SetDispatcher(dispatch.New(dispatch.Options{
+			LeaseTTL:        *leaseTTL,
+			ShardSize:       *shardSize,
+			WorkersExpected: *workers,
+		}))
+		log.Printf("robustd: dispatching trials to a robustworker fleet (expected %d, lease TTL %s, shard size %d)",
+			*workers, *leaseTTL, *shardSize)
+	}
 	if recovered := m.List(); len(recovered) > 0 {
 		byState := map[string]int{}
 		for _, s := range recovered {
@@ -97,9 +123,30 @@ func run(args []string, ready chan<- string) error {
 		}
 		return err
 	case <-ctx.Done():
-		log.Printf("robustd: shutting down")
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		defer cancel()
-		return srv.Shutdown(shutdownCtx)
+		log.Printf("robustd: shutting down (timeout %s)", *shutdownT)
+		// One deadline covers both halves of the wind-down: stop accepting
+		// HTTP, then cancel campaigns and wait for them to persist their
+		// interrupted state. A wedged trial cannot hold the process
+		// hostage — past the deadline robustd exits anyway, and the next
+		// boot recovers the campaign exactly like a crash.
+		shutdownCtx := context.Background()
+		if *shutdownT > 0 {
+			var cancel context.CancelFunc
+			shutdownCtx, cancel = context.WithTimeout(shutdownCtx, *shutdownT)
+			defer cancel()
+		}
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("robustd: http shutdown: %v", err)
+		}
+		remaining := time.Duration(0)
+		if dl, ok := shutdownCtx.Deadline(); ok {
+			if remaining = time.Until(dl); remaining <= 0 {
+				remaining = time.Millisecond // deadline already spent; poll once
+			}
+		}
+		if !m.Shutdown(remaining) {
+			log.Printf("robustd: shutdown deadline expired with campaigns still winding down; exiting")
+		}
+		return nil
 	}
 }

@@ -214,7 +214,7 @@ func TestServeEndToEnd(t *testing.T) {
 	ready := make(chan string, 1)
 	errc := make(chan error, 1)
 	go func() {
-		errc <- run([]string{"-addr", "127.0.0.1:0", "-data", t.TempDir()}, ready)
+		errc <- run([]string{"-addr", "127.0.0.1:0", "-data", t.TempDir(), "-shutdown-timeout", "10s"}, ready)
 	}()
 	var base string
 	select {
@@ -290,6 +290,25 @@ func TestServeEndToEnd(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK || !strings.HasPrefix(string(csv), "rate,") {
 		t.Fatalf("csv results = %d: %q", resp.StatusCode, csv)
+	}
+
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics = %d", resp.StatusCode)
+	}
+	for _, line := range []string{
+		`robustd_campaigns{state="done"} 1`,
+		"robustd_trials_completed_total 4",
+		"robustd_dispatch_enabled 0",
+	} {
+		if !strings.Contains(string(metrics), line) {
+			t.Errorf("metrics missing %q:\n%s", line, metrics)
+		}
 	}
 
 	if err := syscall.Kill(syscall.Getpid(), syscall.SIGINT); err != nil {

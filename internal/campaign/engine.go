@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
+	"robustify/internal/dispatch"
 	"robustify/internal/figures"
 	"robustify/internal/harness"
 )
@@ -21,12 +23,10 @@ type Campaign struct {
 // Total is the number of trials in the full grid.
 func (c *Campaign) Total() int { return c.Plan.Size() }
 
-func unitTrials(u figures.Unit) int {
-	if u.Sweep.Trials <= 0 {
-		return 1
-	}
-	return u.Sweep.Trials
-}
+// unitTrials is the one grid-normalization rule, shared with the
+// dispatch layer so coordinator and workers always linearize the same
+// grid.
+func unitTrials(u figures.Unit) int { return dispatch.TrialsPerCell(u.Sweep.Trials) }
 
 // TableFromStore materializes the campaign's table from whatever the store
 // currently holds: cells aggregate over their completed trials in
@@ -100,9 +100,20 @@ type UnitStatus struct {
 type Execution struct {
 	camp *Campaign
 	st   *Store
+	// trials, if non-nil, counts freshly executed (non-cached) trials —
+	// the manager points every execution at one daemon-wide counter for
+	// the /metrics throughput numbers.
+	trials *atomic.Int64
 
 	mu    sync.Mutex
 	stats [][]*OnlineStats // [unit][rateIdx]
+}
+
+// noteTrial bumps the fresh-trial counter, if one is attached.
+func (e *Execution) noteTrial() {
+	if e.trials != nil {
+		e.trials.Add(1)
+	}
 }
 
 // NewExecution prepares a run, folding any trials already in the store
@@ -142,11 +153,12 @@ func (e *Execution) Run(ctx context.Context) error {
 				if t.Cached {
 					return // already folded in (preloaded from the store)
 				}
-				if err := e.st.Append(Record{
+				added, err := e.st.Put(Record{
 					Unit: unit, RateIdx: t.RateIdx, TrialIdx: t.TrialIdx,
 					Rate: t.Rate, Seed: t.Seed, Value: t.Value,
 					Series: e.camp.Plan.Units[unit].Series,
-				}); err != nil {
+				})
+				if err != nil {
 					sinkMu.Lock()
 					if sinkErr == nil {
 						sinkErr = err
@@ -154,6 +166,10 @@ func (e *Execution) Run(ctx context.Context) error {
 					sinkMu.Unlock()
 					return
 				}
+				if !added {
+					return // a concurrent worker beat us to this key
+				}
+				e.noteTrial()
 				e.mu.Lock()
 				stats[t.RateIdx].Add(t.Value)
 				e.mu.Unlock()

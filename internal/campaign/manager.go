@@ -7,9 +7,11 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
+	"robustify/internal/dispatch"
 	"robustify/internal/harness"
 )
 
@@ -44,11 +46,20 @@ type handle struct {
 	id      string
 	spec    Spec
 	camp    *Campaign
-	st      *Store
+	dir     string
 	created time.Time
+	// counter is the manager-wide fresh-trial counter, attached to every
+	// execution this handle creates (see newExecLocked).
+	counter *atomic.Int64
 
-	mu       sync.Mutex
+	mu sync.Mutex
+	// st and exec are nil for a terminal campaign recovered lazily: its
+	// meta already carries state and progress, so the store is only
+	// opened (ensureStoreLocked) when results, per-cell status, or a
+	// resume actually need trial data.
+	st       *Store
 	exec     *Execution
+	metaDone int // progress from meta.json while the store is unopened
 	cancel   context.CancelFunc
 	done     chan struct{}
 	state    string
@@ -59,6 +70,44 @@ type handle struct {
 	// an explicit cancel that overlaps daemon shutdown is still recorded
 	// as cancelled, not interrupted.
 	userCancel bool
+}
+
+// newExecLocked builds an execution over the handle's (open) store with
+// the manager's trial counter attached; h.mu must be held (or the handle
+// not yet shared).
+func (h *handle) newExecLocked() *Execution {
+	e := NewExecution(h.camp, h.st)
+	e.trials = h.counter
+	return e
+}
+
+// ensureStoreLocked opens a lazily recovered handle's store; a no-op
+// once open. It deliberately does not build an Execution — replaying the
+// store into live statistics is O(trials) and only detailed status needs
+// it (ensureExecLocked). h.mu must be held.
+func (h *handle) ensureStoreLocked() error {
+	if h.st != nil {
+		return nil
+	}
+	st, err := Open(h.dir)
+	if err != nil {
+		return fmt.Errorf("campaign: open store for %s: %w", h.id, err)
+	}
+	h.st = st
+	return nil
+}
+
+// ensureExecLocked opens the store (if needed) and builds the execution
+// whose live statistics back detailed status. h.mu must be held.
+func (h *handle) ensureExecLocked() error {
+	if h.exec != nil {
+		return nil
+	}
+	if err := h.ensureStoreLocked(); err != nil {
+		return err
+	}
+	h.exec = h.newExecLocked()
+	return nil
 }
 
 // terminal reports whether the state is one no goroutine will leave.
@@ -85,11 +134,37 @@ type Manager struct {
 	slots chan struct{}
 	lock  *os.File // flock on the data root; held for the manager's lifetime
 
+	// trials counts freshly executed trials across all campaigns since
+	// this manager was created (for /metrics throughput).
+	trials atomic.Int64
+
 	mu     sync.Mutex
 	byID   map[string]*handle
 	order  []string
 	nextID int
 	closed bool
+	// disp, when set, routes campaign execution to a robustworker fleet
+	// instead of running trials in-process.
+	disp *dispatch.Coordinator
+}
+
+// SetDispatcher attaches a dispatch coordinator: every campaign run
+// started afterwards executes on registered robustworkers instead of
+// in-process. robustd wires this at boot (before the listener and
+// -autoresume); with no dispatcher the manager behaves exactly as
+// before — all trials run locally.
+func (m *Manager) SetDispatcher(d *dispatch.Coordinator) {
+	m.mu.Lock()
+	m.disp = d
+	m.mu.Unlock()
+}
+
+// Dispatcher returns the attached coordinator, or nil when campaigns run
+// in-process.
+func (m *Manager) Dispatcher() *dispatch.Coordinator {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.disp
 }
 
 // NewManager creates a manager storing campaign results under root and
@@ -188,13 +263,14 @@ func (m *Manager) Submit(spec Spec) (string, error) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	h := &handle{
-		id: id, spec: spec, camp: camp, st: st,
-		exec:    NewExecution(camp, st),
+		id: id, spec: spec, camp: camp, st: st, dir: dir,
+		counter: &m.trials,
 		cancel:  cancel,
 		done:    make(chan struct{}),
 		created: time.Now(),
 		state:   StateQueued,
 	}
+	h.exec = h.newExecLocked()
 	if err := h.saveMetaLocked(); err != nil { // no goroutine sees h yet
 		cancel()
 		st.Close()
@@ -252,11 +328,16 @@ func (m *Manager) Resume(id string) error {
 		cancel()
 		return fmt.Errorf("campaign: %s already resumed", id)
 	}
+	if err := h.ensureStoreLocked(); err != nil { // lazily recovered failed/cancelled
+		h.mu.Unlock()
+		cancel()
+		return err
+	}
 	h.state = StateQueued
 	h.err = nil
 	h.finished = nil
 	h.userCancel = false
-	h.exec = NewExecution(h.camp, h.st)
+	h.exec = h.newExecLocked()
 	h.cancel = cancel
 	h.done = make(chan struct{})
 	done = h.done
@@ -302,7 +383,15 @@ func (m *Manager) run(ctx context.Context, h *handle, done chan struct{}) {
 	h.persistLocked()
 	h.mu.Unlock()
 
-	err := exec.Run(ctx)
+	m.mu.Lock()
+	disp := m.disp
+	m.mu.Unlock()
+	var err error
+	if disp != nil {
+		err = exec.RunDispatched(ctx, disp, h.id)
+	} else {
+		err = exec.Run(ctx)
+	}
 	switch {
 	case err == nil:
 		h.finish(StateDone, nil)
@@ -356,11 +445,16 @@ func (h *handle) saveMetaLocked() error {
 		Created:  h.created,
 		Started:  h.started,
 		Finished: h.finished,
+		Done:     h.metaDone,
+		Total:    h.camp.Total(),
+	}
+	if h.st != nil {
+		m.Done = h.st.Count()
 	}
 	if h.err != nil {
 		m.Error = h.err.Error()
 	}
-	return writeMeta(h.st.Dir(), m)
+	return writeMeta(h.dir, m)
 }
 
 // persistLocked is saveMetaLocked for callers that cannot propagate the
@@ -388,7 +482,23 @@ func (h *handle) status(withUnits bool) Status {
 		s.Error = h.err.Error()
 	}
 	exec := h.exec
+	metaDone := h.metaDone
 	h.mu.Unlock()
+	if exec == nil && withUnits {
+		// Per-cell statistics need the trial data: open the lazy store now.
+		h.mu.Lock()
+		if err := h.ensureExecLocked(); err != nil {
+			log.Printf("campaign: %s: status units: %v", h.id, err)
+		}
+		exec = h.exec
+		h.mu.Unlock()
+	}
+	if exec == nil {
+		// Lazily recovered terminal campaign: progress comes straight from
+		// meta.json, so listing history never replays stores.
+		s.Progress = Progress{Done: metaDone, Total: h.camp.Total()}
+		return s
+	}
 	s.Progress = exec.Progress()
 	if withUnits {
 		s.Units = exec.Status()
@@ -454,13 +564,21 @@ func (m *Manager) Cancel(id string) error {
 }
 
 // Table materializes the campaign's current results table; valid at any
-// point mid-run.
+// point mid-run. A lazily recovered campaign's store is opened here, on
+// first access.
 func (m *Manager) Table(id string) (*harness.Table, error) {
 	h, err := m.handleByID(id)
 	if err != nil {
 		return nil, err
 	}
-	return h.camp.TableFromStore(h.st), nil
+	h.mu.Lock()
+	if err := h.ensureStoreLocked(); err != nil {
+		h.mu.Unlock()
+		return nil, err
+	}
+	st := h.st
+	h.mu.Unlock()
+	return h.camp.TableFromStore(st), nil
 }
 
 // Wait blocks until the campaign's current run reaches a terminal state
@@ -479,10 +597,28 @@ func (m *Manager) Wait(id string) error {
 	return h.err
 }
 
-// Close cancels every campaign, waits for them to wind down, and closes
-// their stores.
-func (m *Manager) Close() {
+// Close cancels every campaign, waits (indefinitely) for them to wind
+// down, and closes their stores.
+func (m *Manager) Close() { m.Shutdown(0) }
+
+// Shutdown is Close with a bounded deadline: every campaign is
+// cancelled, then waited on for at most timeout in total (0 = forever).
+// It returns false when the deadline expired with run goroutines still
+// alive — a wedged trial, say — in which case their stores are left
+// open (the goroutine may still append; the process is about to exit
+// anyway) and the data-root flock is left for the kernel to release at
+// process death, so a successor daemon can never grab the root while a
+// wedged goroutine still writes to it. The wedged campaign's meta still
+// says running, which the next boot classifies as interrupted — exactly
+// the crash path — so nothing is lost beyond the in-flight trials.
+// Shutdown is idempotent; concurrent or repeated calls after the first
+// return true immediately.
+func (m *Manager) Shutdown(timeout time.Duration) bool {
 	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return true
+	}
 	m.closed = true
 	handles := make([]*handle, 0, len(m.byID))
 	for _, h := range m.byID {
@@ -495,12 +631,43 @@ func (m *Manager) Close() {
 		h.mu.Unlock()
 		cancel()
 	}
+	var deadline <-chan time.Time
+	if timeout > 0 {
+		tmr := time.NewTimer(timeout)
+		defer tmr.Stop()
+		deadline = tmr.C
+	}
+	clean := true
+	timedOut := false
 	for _, h := range handles {
 		h.mu.Lock()
 		done := h.done
 		h.mu.Unlock()
-		<-done
-		h.st.Close()
+		if !timedOut {
+			select {
+			case <-done:
+			case <-deadline:
+				timedOut = true
+			}
+		}
+		if timedOut {
+			// The deadline fired once; poll the remaining handles without
+			// blocking so already-finished ones still close cleanly.
+			select {
+			case <-done:
+			default:
+				clean = false
+				continue
+			}
+		}
+		h.mu.Lock()
+		if h.st != nil {
+			h.st.Close()
+		}
+		h.mu.Unlock()
 	}
-	unlockRoot(m.lock)
+	if clean {
+		unlockRoot(m.lock)
+	}
+	return clean
 }

@@ -16,7 +16,10 @@ import (
 // it — which is what lets a restarted daemon rebuild its registry.
 const metaFile = "meta.json"
 
-// Meta is the persisted lifecycle state of one campaign.
+// Meta is the persisted lifecycle state of one campaign. Done/Total
+// mirror the store's progress at the last state transition; for terminal
+// states they are exact, which lets recovery serve a terminal campaign's
+// progress without opening (and replaying) its store at boot.
 type Meta struct {
 	ID       string     `json:"id"`
 	Name     string     `json:"name"`
@@ -25,6 +28,8 @@ type Meta struct {
 	Created  time.Time  `json:"created"`
 	Started  *time.Time `json:"started,omitempty"`
 	Finished *time.Time `json:"finished,omitempty"`
+	Done     int        `json:"done,omitempty"`
+	Total    int        `json:"total,omitempty"`
 }
 
 // writeMeta atomically replaces dir's meta.json: the record is written to

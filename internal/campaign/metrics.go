@@ -1,0 +1,101 @@
+package campaign
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// ManagerMetrics is the manager's observability snapshot.
+type ManagerMetrics struct {
+	// States counts campaigns by lifecycle state (all known states
+	// present, zero-filled, so scrape output is stable).
+	States map[string]int
+	// TrialsTotal is the number of freshly executed trials recorded since
+	// this manager was created (cached/resumed trials don't count).
+	TrialsTotal int64
+}
+
+// Metrics snapshots campaign counts and the trial counter. It never
+// opens lazily recovered stores — state and progress come from the
+// in-memory registry.
+func (m *Manager) Metrics() ManagerMetrics {
+	states := map[string]int{
+		StateQueued: 0, StateRunning: 0, StateDone: 0,
+		StateFailed: 0, StateCancelled: 0, StateInterrupted: 0,
+	}
+	for _, s := range m.List() {
+		states[s.State]++
+	}
+	return ManagerMetrics{States: states, TrialsTotal: m.trials.Load()}
+}
+
+// metricsHandler serves GET /metrics in Prometheus text exposition
+// format: campaigns by state, trial throughput, and — when a dispatcher
+// is attached — worker fleet and lease-table gauges. The trials-per-
+// second gauge averages over the interval since the previous scrape, so
+// any scraper (or a bare curl loop) sees a meaningful rate without
+// needing rate() math.
+func metricsHandler(m *Manager) http.HandlerFunc {
+	var mu sync.Mutex
+	var lastScrape time.Time
+	var lastTrials int64
+	return func(w http.ResponseWriter, r *http.Request) {
+		mm := m.Metrics()
+		now := time.Now()
+		mu.Lock()
+		rate := 0.0
+		if !lastScrape.IsZero() {
+			if dt := now.Sub(lastScrape).Seconds(); dt > 0 {
+				rate = float64(mm.TrialsTotal-lastTrials) / dt
+			}
+		}
+		lastScrape, lastTrials = now, mm.TrialsTotal
+		mu.Unlock()
+
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		fmt.Fprintf(w, "# HELP robustd_campaigns Campaigns in the registry by lifecycle state.\n")
+		fmt.Fprintf(w, "# TYPE robustd_campaigns gauge\n")
+		for _, state := range []string{
+			StateQueued, StateRunning, StateDone, StateFailed, StateCancelled, StateInterrupted,
+		} {
+			fmt.Fprintf(w, "robustd_campaigns{state=%q} %d\n", state, mm.States[state])
+		}
+		fmt.Fprintf(w, "# HELP robustd_trials_completed_total Freshly executed trials recorded since daemon start.\n")
+		fmt.Fprintf(w, "# TYPE robustd_trials_completed_total counter\n")
+		fmt.Fprintf(w, "robustd_trials_completed_total %d\n", mm.TrialsTotal)
+		fmt.Fprintf(w, "# HELP robustd_trials_per_second Trial completion rate averaged since the previous scrape.\n")
+		fmt.Fprintf(w, "# TYPE robustd_trials_per_second gauge\n")
+		fmt.Fprintf(w, "robustd_trials_per_second %g\n", rate)
+
+		d := m.Dispatcher()
+		fmt.Fprintf(w, "# HELP robustd_dispatch_enabled Whether distributed trial execution is enabled.\n")
+		fmt.Fprintf(w, "# TYPE robustd_dispatch_enabled gauge\n")
+		if d == nil {
+			fmt.Fprintf(w, "robustd_dispatch_enabled 0\n")
+			return
+		}
+		fmt.Fprintf(w, "robustd_dispatch_enabled 1\n")
+		ds := d.Stats()
+		fmt.Fprintf(w, "# HELP robustd_workers Robustworkers by liveness (active = leased or reported within two lease TTLs).\n")
+		fmt.Fprintf(w, "# TYPE robustd_workers gauge\n")
+		fmt.Fprintf(w, "robustd_workers{kind=\"registered\"} %d\n", ds.WorkersRegistered)
+		fmt.Fprintf(w, "robustd_workers{kind=\"active\"} %d\n", ds.WorkersActive)
+		fmt.Fprintf(w, "robustd_workers{kind=\"expected\"} %d\n", ds.WorkersExpected)
+		fmt.Fprintf(w, "# HELP robustd_leases_outstanding Shard leases currently held by workers.\n")
+		fmt.Fprintf(w, "# TYPE robustd_leases_outstanding gauge\n")
+		fmt.Fprintf(w, "robustd_leases_outstanding %d\n", ds.ShardsLeased)
+		fmt.Fprintf(w, "# HELP robustd_shards Shards of actively dispatched campaigns by state.\n")
+		fmt.Fprintf(w, "# TYPE robustd_shards gauge\n")
+		fmt.Fprintf(w, "robustd_shards{state=\"pending\"} %d\n", ds.ShardsPending)
+		fmt.Fprintf(w, "robustd_shards{state=\"leased\"} %d\n", ds.ShardsLeased)
+		fmt.Fprintf(w, "robustd_shards{state=\"done\"} %d\n", ds.ShardsDone)
+		fmt.Fprintf(w, "# HELP robustd_dispatch_jobs Campaigns currently dispatched to the fleet.\n")
+		fmt.Fprintf(w, "# TYPE robustd_dispatch_jobs gauge\n")
+		fmt.Fprintf(w, "robustd_dispatch_jobs %d\n", ds.Jobs)
+		fmt.Fprintf(w, "# HELP robustd_dispatch_rejected_results_total Worker results dropped by grid bounds or seed/rate verification.\n")
+		fmt.Fprintf(w, "# TYPE robustd_dispatch_rejected_results_total counter\n")
+		fmt.Fprintf(w, "robustd_dispatch_rejected_results_total %d\n", ds.RejectedResults)
+	}
+}

@@ -39,6 +39,7 @@ func (m *Manager) recoverAll() error {
 		if h == nil {
 			continue // not a campaign directory
 		}
+		h.counter = &m.trials
 		m.byID[h.id] = h
 		m.order = append(m.order, h.id)
 	}
@@ -65,6 +66,13 @@ func campaignID(name string) (int, bool) {
 // as recorded. Everything else — queued/running metas whose owner died,
 // unreadable or absent metas — is classified from the store itself:
 // complete grid -> done, anything less -> interrupted.
+//
+// A terminal meta whose progress record matches the compiled grid is
+// recovered WITHOUT opening its store: state and progress come from the
+// meta alone, and the store is opened lazily on first results/status
+// access (handle.ensureStoreLocked). Boot cost therefore stops growing
+// with terminal history — only live work (interrupted campaigns, old
+// metas written before progress was recorded) replays trial data.
 func recoverHandle(id, dir string) (*handle, error) {
 	specBytes, err := os.ReadFile(filepath.Join(dir, specFile))
 	if os.IsNotExist(err) {
@@ -88,6 +96,27 @@ func recoverHandle(id, dir string) (*handle, error) {
 		// below, which rebuilds state from store contents.
 		log.Printf("campaign: %s: unreadable meta, reclassifying from store: %v", id, err)
 		meta, hasMeta = Meta{}, false
+	}
+	if hasMeta && terminal(meta.State) && meta.ID == id && meta.Total == camp.Total() && meta.Total > 0 {
+		done := make(chan struct{})
+		close(done)
+		h := &handle{
+			id:       id,
+			spec:     spec,
+			camp:     camp,
+			dir:      dir,
+			metaDone: meta.Done,
+			cancel:   func() {},
+			done:     done,
+			created:  meta.Created,
+			state:    meta.State,
+			started:  meta.Started,
+			finished: meta.Finished,
+		}
+		if meta.Error != "" {
+			h.err = errors.New(meta.Error)
+		}
+		return h, nil
 	}
 	st, err := Open(dir)
 	if err != nil {
@@ -126,6 +155,7 @@ func recoverHandle(id, dir string) (*handle, error) {
 		spec:     spec,
 		camp:     camp,
 		st:       st,
+		dir:      dir,
 		exec:     NewExecution(camp, st),
 		cancel:   func() {},
 		done:     done,
@@ -139,7 +169,9 @@ func recoverHandle(id, dir string) (*handle, error) {
 	}
 	// Persist the classification so meta.json always names the state the
 	// daemon will report (and so pre-registry directories gain a meta).
-	if !hasMeta || meta.State != state || meta.ID != id {
+	// Metas from before progress was recorded (Total 0) are upgraded too,
+	// so the next boot recovers this campaign without opening its store.
+	if !hasMeta || meta.State != state || meta.ID != id || meta.Total != camp.Total() {
 		if err := h.saveMetaLocked(); err != nil {
 			log.Printf("campaign: %s: persist recovered meta: %v", id, err)
 		}

@@ -7,6 +7,7 @@ import (
 	"log"
 	"net/http"
 
+	"robustify/internal/dispatch"
 	"robustify/internal/harness"
 )
 
@@ -20,6 +21,16 @@ import (
 //	POST   /campaigns/{id}/resume   reschedule a cancelled/failed/interrupted campaign
 //	GET    /workloads               custom-sweep workload registry
 //	GET    /healthz                 liveness
+//	GET    /metrics                 Prometheus text: campaigns by state, trial
+//	                                throughput, workers, outstanding leases
+//
+// With a dispatch coordinator attached (robustd -workers-expected > 0)
+// the worker lease protocol is served too:
+//
+//	POST   /workers/register        robustworker announces itself -> {worker, lease_ttl}
+//	POST   /workers/lease           pull one shard lease (204 when no work)
+//	POST   /workers/report          stream back a result batch / heartbeat / release
+//	GET    /workers                 registered workers with liveness
 func NewServer(m *Manager) http.Handler {
 	mux := http.NewServeMux()
 
@@ -112,7 +123,98 @@ func NewServer(m *Manager) http.Handler {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 
+	mux.HandleFunc("GET /metrics", metricsHandler(m))
+
+	// dispatcher guards the worker endpoints: without a coordinator the
+	// daemon runs every trial in-process and a worker knocking on the
+	// door should learn why, not 404.
+	dispatcher := func(w http.ResponseWriter) *dispatch.Coordinator {
+		d := m.Dispatcher()
+		if d == nil {
+			httpError(w, http.StatusServiceUnavailable,
+				fmt.Errorf("distributed execution disabled; start robustd with -workers-expected"))
+		}
+		return d
+	}
+
+	mux.HandleFunc("POST /workers/register", func(w http.ResponseWriter, r *http.Request) {
+		d := dispatcher(w)
+		if d == nil {
+			return
+		}
+		var req dispatch.RegisterRequest
+		if err := readJSON(r, &req); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		resp := d.Register(req)
+		log.Printf("campaign: worker %s registered (%s)", resp.Worker, req.Name)
+		writeJSON(w, http.StatusOK, resp)
+	})
+
+	mux.HandleFunc("POST /workers/lease", func(w http.ResponseWriter, r *http.Request) {
+		d := dispatcher(w)
+		if d == nil {
+			return
+		}
+		var req dispatch.LeaseRequest
+		if err := readJSON(r, &req); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		lease, err := d.Lease(req)
+		if err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		if lease == nil {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		writeJSON(w, http.StatusOK, lease)
+	})
+
+	mux.HandleFunc("POST /workers/report", func(w http.ResponseWriter, r *http.Request) {
+		d := dispatcher(w)
+		if d == nil {
+			return
+		}
+		var req dispatch.ReportRequest
+		if err := readJSON(r, &req); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		resp, err := d.Report(req)
+		if err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+
+	mux.HandleFunc("GET /workers", func(w http.ResponseWriter, r *http.Request) {
+		d := dispatcher(w)
+		if d == nil {
+			return
+		}
+		writeJSON(w, http.StatusOK, d.Workers())
+	})
+
 	return mux
+}
+
+// readJSON decodes a bounded JSON request body. Report bodies carry
+// result batches, so the cap is generous (8 MiB) while still bounding a
+// hostile request.
+func readJSON(r *http.Request, v any) error {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 8<<20))
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -134,24 +134,33 @@ func (st *Store) Dir() string { return st.dir }
 
 // Append records one completed trial and flushes it.
 func (st *Store) Append(rec Record) error {
+	_, err := st.Put(rec)
+	return err
+}
+
+// Put is Append reporting whether the record was new: false means the
+// trial was already durable and nothing was written. The check and the
+// write happen under one lock, so concurrent writers of the same key —
+// two workers racing on a reassigned shard — see exactly one true.
+func (st *Store) Put(rec Record) (added bool, err error) {
 	line, err := json.Marshal(rec)
 	if err != nil {
-		return err
+		return false, err
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	key := trialKey{rec.Unit, rec.RateIdx, rec.TrialIdx}
 	if _, dup := st.have[key]; dup {
-		return nil // already durable; keep the store free of duplicates
+		return false, nil // already durable; keep the store free of duplicates
 	}
 	if _, err := st.w.Write(append(line, '\n')); err != nil {
-		return err
+		return false, err
 	}
 	if err := st.w.Flush(); err != nil {
-		return err
+		return false, err
 	}
 	st.have[key] = rec.Value
-	return nil
+	return true, nil
 }
 
 // Lookup returns the recorded value for a trial key of one unit.

@@ -1,0 +1,224 @@
+package dispatch
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2026, 7, 28, 12, 0, 0, 0, time.UTC)
+
+func keys(unit int, trials int, linear ...int) []Key {
+	out := make([]Key, len(linear))
+	for i, l := range linear {
+		out[i] = Key{Unit: unit, RateIdx: l / trials, TrialIdx: l % trials}
+	}
+	return out
+}
+
+func TestTableCarving(t *testing.T) {
+	// unit 0: 2 rates × 3 trials = 6 -> shards [0,4) [4,6); unit 1:
+	// 1 rate × 4 trials -> one shard [0,4).
+	tb := NewTable([]UnitGrid{{Rates: 2, Trials: 3}, {Rates: 1, Trials: 4}}, nil, 4)
+	if len(tb.shards) != 3 {
+		t.Fatalf("shards = %d, want 3", len(tb.shards))
+	}
+	p, l, d := tb.Counts(t0)
+	if p != 3 || l != 0 || d != 0 {
+		t.Fatalf("counts = %d/%d/%d, want 3 pending", p, l, d)
+	}
+	got := []Shard{}
+	for {
+		le := tb.Acquire("w1", t0, time.Minute)
+		if le == nil {
+			break
+		}
+		got = append(got, le.Shard)
+	}
+	want := []Shard{
+		{Unit: 0, Start: 0, Count: 4},
+		{Unit: 0, Start: 4, Count: 2},
+		{Unit: 1, Start: 0, Count: 4},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("acquired shards = %+v, want %+v", got, want)
+	}
+}
+
+func TestTableResumeSkipsDurable(t *testing.T) {
+	// Trials 0..3 of unit 0 already durable: the first shard starts done,
+	// the second is leased with no skip, and a fully fresh grid follows.
+	durable := map[Key]bool{}
+	for _, k := range keys(0, 3, 0, 1, 2, 3) {
+		durable[k] = true
+	}
+	tb := NewTable([]UnitGrid{{Rates: 2, Trials: 3}}, func(k Key) bool { return durable[k] }, 4)
+	p, _, d := tb.Counts(t0)
+	if p != 1 || d != 1 {
+		t.Fatalf("counts = pending %d done %d, want 1/1", p, d)
+	}
+	le := tb.Acquire("w1", t0, time.Minute)
+	if le == nil || le.Shard.Start != 4 || le.Shard.Skip != nil {
+		t.Fatalf("lease = %+v, want fresh shard [4,6)", le)
+	}
+}
+
+func TestTablePartialHaveYieldsSkip(t *testing.T) {
+	durable := map[Key]bool{}
+	for _, k := range keys(0, 3, 1, 2) {
+		durable[k] = true
+	}
+	tb := NewTable([]UnitGrid{{Rates: 2, Trials: 3}}, func(k Key) bool { return durable[k] }, 6)
+	le := tb.Acquire("w1", t0, time.Minute)
+	if le == nil || !reflect.DeepEqual(le.Shard.Skip, []int{1, 2}) {
+		t.Fatalf("lease = %+v, want skip [1 2]", le)
+	}
+}
+
+func TestLeaseExpiryReassignmentOrdering(t *testing.T) {
+	tb := NewTable([]UnitGrid{{Rates: 4, Trials: 2}}, nil, 2) // 4 shards
+	ttl := time.Minute
+
+	l0 := tb.Acquire("dead", t0, ttl) // shard [0,2)
+	l1 := tb.Acquire("dead", t0, ttl) // shard [2,4)
+	if l0 == nil || l1 == nil {
+		t.Fatal("initial acquires failed")
+	}
+	// Worker "dead" reports part of shard 0, then goes silent.
+	if lost := tb.Report(l0.ID, keys(0, 2, 0), false, t0.Add(10*time.Second), ttl); lost {
+		t.Fatal("live lease reported lost")
+	}
+
+	// Before expiry another worker gets the next pending shard, not the
+	// leased ones.
+	l2 := tb.Acquire("w2", t0.Add(30*time.Second), ttl)
+	if l2 == nil || l2.Shard.Start != 4 {
+		t.Fatalf("pre-expiry acquire = %+v, want shard [4,6)", l2)
+	}
+
+	// After both of dead's leases expire (l1 at t0+60s, the renewed l0 at
+	// t0+70s) but while w2's own lease is still live (until t0+90s),
+	// reassignment hands out the lowest shard first — shard 0 with the
+	// delivered trial in Skip, then shard 1 — before the still-pending
+	// tail shard.
+	late := t0.Add(80 * time.Second)
+	r0 := tb.Acquire("w2", late, ttl)
+	if r0 == nil || r0.Shard.Start != 0 || !reflect.DeepEqual(r0.Shard.Skip, []int{0}) {
+		t.Fatalf("first reassignment = %+v, want shard [0,2) skip [0]", r0)
+	}
+	r1 := tb.Acquire("w2", late, ttl)
+	if r1 == nil || r1.Shard.Start != 2 || r1.Shard.Skip != nil {
+		t.Fatalf("second reassignment = %+v, want shard [2,4) no skip", r1)
+	}
+	r2 := tb.Acquire("w2", late, ttl)
+	if r2 == nil || r2.Shard.Start != 6 {
+		t.Fatalf("third acquire = %+v, want tail shard [6,8)", r2)
+	}
+	// The stale worker's report now answers lost.
+	if lost := tb.Report(l0.ID, nil, false, late, ttl); !lost {
+		t.Error("expired lease report not lost")
+	}
+}
+
+func TestHeartbeatRenewsLease(t *testing.T) {
+	tb := NewTable([]UnitGrid{{Rates: 1, Trials: 2}}, nil, 2)
+	ttl := time.Minute
+	le := tb.Acquire("w1", t0, ttl)
+	// Empty report at t0+50s pushes expiry to t0+110s.
+	if lost := tb.Report(le.ID, nil, false, t0.Add(50*time.Second), ttl); lost {
+		t.Fatal("heartbeat lost a live lease")
+	}
+	if other := tb.Acquire("w2", t0.Add(90*time.Second), ttl); other != nil {
+		t.Fatalf("renewed lease was reassigned: %+v", other)
+	}
+	if other := tb.Acquire("w2", t0.Add(3*time.Minute), ttl); other == nil {
+		t.Fatal("lease never expired after heartbeats stopped")
+	}
+}
+
+func TestReportDoneIncompleteRequeues(t *testing.T) {
+	tb := NewTable([]UnitGrid{{Rates: 1, Trials: 4}}, nil, 4)
+	le := tb.Acquire("w1", t0, time.Minute)
+	// Worker claims done but delivered only half the shard: the claim is
+	// not trusted, the shard goes back to pending with the durable half
+	// in Skip.
+	if lost := tb.Report(le.ID, keys(0, 4, 0, 1), true, t0, time.Minute); lost {
+		t.Fatal("done report lost")
+	}
+	select {
+	case <-tb.Done():
+		t.Fatal("table done with half the grid missing")
+	default:
+	}
+	re := tb.Acquire("w2", t0, time.Minute)
+	if re == nil || !reflect.DeepEqual(re.Shard.Skip, []int{0, 1}) {
+		t.Fatalf("requeued lease = %+v, want skip [0 1]", re)
+	}
+	if lost := tb.Report(re.ID, keys(0, 4, 2, 3), true, t0, time.Minute); lost {
+		t.Fatal("completing report lost")
+	}
+	select {
+	case <-tb.Done():
+	default:
+		t.Fatal("table not done after full grid delivered")
+	}
+}
+
+func TestStaleLeaseReportStillCompletesShard(t *testing.T) {
+	tb := NewTable([]UnitGrid{{Rates: 1, Trials: 2}}, nil, 2)
+	ttl := time.Minute
+	l1 := tb.Acquire("w1", t0, ttl)
+	// w1 goes silent; the shard is reassigned to w2 — then w1's full
+	// report arrives late, on the expired lease. The results are durable
+	// either way, so they complete the shard out from under w2, and both
+	// workers are told to move on.
+	late := t0.Add(2 * time.Minute)
+	l2 := tb.Acquire("w2", late, ttl)
+	if l2 == nil || l2.Shard.Start != 0 {
+		t.Fatalf("reassignment = %+v, want shard [0,2)", l2)
+	}
+	if lost := tb.Report(l1.ID, keys(0, 2, 0, 1), false, late, ttl); !lost {
+		t.Error("stale lease report not answered lost")
+	}
+	select {
+	case <-tb.Done():
+	default:
+		t.Fatal("table not done after stale report covered the grid")
+	}
+	if lost := tb.Report(l2.ID, nil, false, late, ttl); !lost {
+		t.Error("lease over a completed shard not reported lost")
+	}
+}
+
+func TestOutOfGridKeysIgnored(t *testing.T) {
+	tb := NewTable([]UnitGrid{{Rates: 1, Trials: 2}}, nil, 2)
+	le := tb.Acquire("w1", t0, time.Minute)
+	junk := []Key{{Unit: 5, RateIdx: 0, TrialIdx: 0}, {Unit: 0, RateIdx: 9, TrialIdx: 0}, {Unit: -1}, {Unit: 0, RateIdx: 0, TrialIdx: 7}}
+	if lost := tb.Report(le.ID, junk, false, t0, time.Minute); lost {
+		t.Fatal("junk keys lost a live lease")
+	}
+	p, l, d := tb.Counts(t0)
+	if p != 0 || l != 1 || d != 0 {
+		t.Fatalf("counts after junk keys = %d/%d/%d, want the shard still leased", p, l, d)
+	}
+	select {
+	case <-tb.Done():
+		t.Fatal("junk keys completed the grid")
+	default:
+	}
+}
+
+func TestEmptyGridStartsDone(t *testing.T) {
+	tb := NewTable(nil, nil, 4)
+	select {
+	case <-tb.Done():
+	default:
+		t.Fatal("empty grid not done")
+	}
+	tbHave := NewTable([]UnitGrid{{Rates: 2, Trials: 2}}, func(Key) bool { return true }, 3)
+	select {
+	case <-tbHave.Done():
+	default:
+		t.Fatal("fully durable grid not done")
+	}
+}
