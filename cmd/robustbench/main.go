@@ -6,6 +6,9 @@
 //	robustbench [-fig all|5.1|5.2|6.1|...|6.7|momentum|flops]
 //	            [-trials N] [-seed S] [-quick] [-workers N]
 //	            [-csv DIR] [-out DIR] [-resume DIR] [-list]
+//	robustbench -tune WORKLOAD -out DIR [-tune-rates R1,R2] [-tune-knobs K1,K2]
+//	            [-tune-rounds N] [-tune-iters N] [-tune-agg mean|median]
+//	            [-trials N] [-seed S] [-workers N]
 //
 // With -csv, each figure is additionally written as DIR/fig-<id>.csv.
 // With -out, every completed trial of a sweep-shaped figure is persisted
@@ -13,21 +16,33 @@
 // interrupted run restarted with -resume DIR re-executes only the missing
 // trials and produces a table byte-identical to an uninterrupted run with
 // the same flags.
+//
+// With -tune, robustbench searches WORKLOAD's declared knob grid
+// (penalty weight, step constants, iteration budgets — see
+// internal/tune) instead of building figures: every candidate
+// configuration runs as a durable campaign under DIR, the search state
+// persists to DIR/tunes/<id>/tune.json, and a killed run restarted with
+// -resume DIR continues from the last completed evaluation, finishing
+// with a trace byte-identical to an uninterrupted run.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"path/filepath"
+	"sort"
+	"strconv"
 	"strings"
 	"time"
 
 	"robustify/internal/campaign"
 	"robustify/internal/figures"
 	"robustify/internal/harness"
+	"robustify/internal/tune"
 )
 
 func main() {
@@ -49,6 +64,13 @@ func run(args []string) error {
 		outDir  = fs.String("out", "", "persist per-trial results to campaign stores under DIR")
 		resume  = fs.String("resume", "", "resume persisted campaign stores under DIR (implies -out DIR)")
 		list    = fs.Bool("list", false, "list available figures and exit")
+
+		tuneW      = fs.String("tune", "", "search WORKLOAD's knob grid instead of building figures (needs -out or -resume)")
+		tuneRates  = fs.String("tune-rates", "0.01,0.05", "fixed fault-rate grid for tune evaluations (comma-separated)")
+		tuneKnobs  = fs.String("tune-knobs", "", "knob subset to search (comma-separated; default: all declared)")
+		tuneRounds = fs.Int("tune-rounds", 0, "coordinate-descent rounds (0 = 2)")
+		tuneIters  = fs.Int("tune-iters", 0, "iteration budget per trial (0 = workload default)")
+		tuneAgg    = fs.String("tune-agg", "", "per-cell aggregator for tune evaluations: mean (default) or median")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -76,6 +98,29 @@ func run(args []string) error {
 		ctx, stop = signal.NotifyContext(ctx, os.Interrupt)
 		defer stop()
 		context.AfterFunc(ctx, stop)
+	}
+
+	if *tuneW != "" {
+		rates, err := parseRates(*tuneRates)
+		if err != nil {
+			return err
+		}
+		spec := tune.Spec{
+			Workload: *tuneW,
+			Rates:    rates,
+			Trials:   *trials,
+			Iters:    *tuneIters,
+			Agg:      *tuneAgg,
+			Seed:     *seed,
+			Rounds:   *tuneRounds,
+			Workers:  *workers,
+		}
+		for _, k := range strings.Split(*tuneKnobs, ",") {
+			if k = strings.TrimSpace(k); k != "" {
+				spec.Knobs = append(spec.Knobs, k)
+			}
+		}
+		return runTune(ctx, storeDir, spec)
 	}
 
 	cfg := figures.Config{Trials: *trials, Seed: *seed, Quick: *quick, Workers: *workers}
@@ -153,6 +198,137 @@ func runCampaign(ctx context.Context, dir, id string, cfg figures.Config) (*harn
 		return nil, err
 	}
 	return exec.Table(), nil
+}
+
+// runTune drives one parameter search to completion under dir: a fresh
+// search submits, a prior interrupted/cancelled/failed search with the
+// same spec resumes, and a completed one just reprints its results —
+// so a killed run rerun with -resume picks up exactly where it stopped.
+func runTune(ctx context.Context, dir string, spec tune.Spec) error {
+	if dir == "" {
+		return fmt.Errorf("-tune needs -out DIR (or -resume DIR) for the durable search state")
+	}
+	cm, err := campaign.NewManager(dir, 0)
+	if err != nil {
+		return err
+	}
+	defer cm.Close()
+	tm, err := tune.NewManager(filepath.Join(dir, "tunes"), cm)
+	if err != nil {
+		return err
+	}
+	defer tm.Close()
+
+	id := ""
+	existing := tm.List()
+	for _, st := range existing {
+		if tune.ResumeCompatible(st.Spec, spec) {
+			id = st.ID
+			break
+		}
+	}
+	switch {
+	case id == "":
+		// Refuse to quietly start a fresh search next to prior runs: a
+		// rerun with one flag off would otherwise abandon the invested
+		// work without a word (the figure -resume path errors the same
+		// way on a spec mismatch).
+		if len(existing) > 0 {
+			return fmt.Errorf("%s holds %d tune run(s) created with different flags; rerun with the original flags or use a fresh -out directory", dir, len(existing))
+		}
+		if id, err = tm.Submit(spec); err != nil {
+			return err
+		}
+	default:
+		st, err := tm.Get(id)
+		if err != nil {
+			return err
+		}
+		if st.State != tune.StateDone {
+			fmt.Fprintf(os.Stderr, "robustbench: resuming tune %s: %d evaluations already recorded\n", id, st.EvalsCompleted)
+			if err := tm.Resume(id); err != nil {
+				return err
+			}
+		}
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- tm.Wait(id) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return err
+		}
+	case <-ctx.Done():
+		tm.Interrupt()
+		cm.Close()
+		tm.Close()
+		return fmt.Errorf("interrupted; rerun with -resume %s to continue the search", dir)
+	}
+	st, err := tm.Get(id)
+	if err != nil {
+		return err
+	}
+	if st.State != tune.StateDone {
+		return fmt.Errorf("tune %s ended %s: %s", id, st.State, st.Error)
+	}
+	printTune(os.Stdout, st)
+	return nil
+}
+
+// printTune renders a finished search: per-candidate table, best-so-far
+// trajectory, and the winning configuration.
+func printTune(w io.Writer, st tune.Status) {
+	fmt.Fprintf(w, "tune %s: %s (%d evaluations)\n", st.ID, st.Spec.Workload, st.EvalsCompleted)
+	fmt.Fprintf(w, "%-5s  %-8s  %-24s  %s\n", "eval", "trials", "params", "objective")
+	for _, e := range st.Evals {
+		obj := "-"
+		if e.Objective != nil {
+			obj = fmt.Sprintf("%g", *e.Objective)
+		}
+		fmt.Fprintf(w, "%-5d  %-8d  %-24s  %s\n", e.N, e.Trials, formatParams(e.Params), obj)
+	}
+	fmt.Fprintln(w, "best-so-far:")
+	for _, b := range st.Best {
+		fmt.Fprintf(w, "  eval %-4d %-24s  %g\n", b.Eval, formatParams(b.Params), b.Objective)
+	}
+	if st.FinalObjective != nil {
+		fmt.Fprintf(w, "best: %s  objective=%g\n", formatParams(st.Final), *st.FinalObjective)
+	}
+}
+
+// formatParams renders a knob configuration with sorted keys.
+func formatParams(p map[string]float64) string {
+	keys := make([]string, 0, len(p))
+	for k := range p {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%g", k, p[k])
+	}
+	return strings.Join(parts, " ")
+}
+
+// parseRates parses a comma-separated fault-rate list.
+func parseRates(s string) ([]float64, error) {
+	var rates []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -tune-rates entry %q: %w", part, err)
+		}
+		rates = append(rates, v)
+	}
+	if len(rates) == 0 {
+		return nil, fmt.Errorf("-tune-rates is empty")
+	}
+	return rates, nil
 }
 
 // figFileName is the on-disk name for a figure's store directory and CSV

@@ -93,6 +93,69 @@ func TestRunOutFallsBackForUnplannedFigure(t *testing.T) {
 	}
 }
 
+// TestRunTuneAndRerun: -tune runs a full search, persists tune.json,
+// and a rerun with -resume serves the finished result without starting
+// a second search (same run directory, identical trace).
+func TestRunTuneAndRerun(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-tune", "leastsq/cg", "-tune-rates", "0.02", "-tune-knobs", "budget",
+		"-tune-rounds", "1", "-trials", "2", "-seed", "3", "-out", dir}
+	if err := run(args); err != nil {
+		t.Fatalf("-tune run: %v", err)
+	}
+	trace := filepath.Join(dir, "tunes", "t0001", "tune.json")
+	first, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatalf("tune trace missing: %v", err)
+	}
+	rerun := append([]string{}, args...)
+	rerun[len(rerun)-2] = "-resume"
+	if err := run(rerun); err != nil {
+		t.Fatalf("-resume rerun: %v", err)
+	}
+	second, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(first) != string(second) {
+		t.Errorf("rerun changed the finished trace:\n--- first ---\n%s\n--- second ---\n%s", first, second)
+	}
+	if entries, _ := os.ReadDir(filepath.Join(dir, "tunes")); len(entries) != 1 {
+		t.Errorf("rerun started a second search: %d run dirs", len(entries))
+	}
+}
+
+// TestRunTuneResumeRejectsChangedFlags: a rerun whose flags no longer
+// match the stored search must error instead of silently starting a
+// fresh search beside the invested one.
+func TestRunTuneResumeRejectsChangedFlags(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-tune", "leastsq/cg", "-tune-rates", "0.02", "-tune-knobs", "budget",
+		"-tune-rounds", "1", "-trials", "2", "-seed", "3", "-out", dir}); err != nil {
+		t.Fatalf("-tune run: %v", err)
+	}
+	err := run([]string{"-tune", "leastsq/cg", "-tune-rates", "0.02", "-tune-knobs", "budget",
+		"-tune-rounds", "1", "-trials", "2", "-seed", "4", "-resume", dir})
+	if err == nil {
+		t.Fatal("changed -seed silently started a new search")
+	}
+	if entries, _ := os.ReadDir(filepath.Join(dir, "tunes")); len(entries) != 1 {
+		t.Errorf("mismatch rerun created run dirs: %d", len(entries))
+	}
+}
+
+func TestRunTuneNeedsOut(t *testing.T) {
+	if err := run([]string{"-tune", "leastsq/cg"}); err == nil {
+		t.Error("-tune without -out accepted")
+	}
+}
+
+func TestRunTuneUnknownWorkload(t *testing.T) {
+	if err := run([]string{"-tune", "nope", "-out", t.TempDir()}); err == nil {
+		t.Error("unknown tune workload accepted")
+	}
+}
+
 func TestRunBadFlag(t *testing.T) {
 	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
 		t.Error("bad flag accepted")

@@ -16,6 +16,13 @@
 // the finished table is byte-identical to an in-process run. See
 // cmd/robustworker.
 //
+// robustd also serves the parameter-search API (POST /tune,
+// GET /tune/{id}, ...): a tune run searches a workload's declared knob
+// grid, evaluating each candidate configuration as an ordinary durable
+// campaign — so searches survive restarts (-autoresume finishes them)
+// and distribute across the worker fleet like any campaign. See
+// internal/tune.
+//
 // Usage:
 //
 //	robustd [-addr :8080] [-data DIR] [-concurrency N] [-autoresume]
@@ -35,11 +42,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"robustify/internal/campaign"
 	"robustify/internal/dispatch"
+	"robustify/internal/tune"
 )
 
 func main() {
@@ -76,6 +85,13 @@ func run(args []string, ready chan<- string) error {
 		return err
 	}
 	defer m.Close()
+	// The tune registry lives inside the campaign data root (covered by
+	// its flock); evaluation campaigns are ordinary campaigns beside it.
+	tm, err := tune.NewManager(filepath.Join(*data, "tunes"), m)
+	if err != nil {
+		return err
+	}
+	defer tm.Close()
 	if *workers > 0 {
 		m.SetDispatcher(dispatch.New(dispatch.Options{
 			LeaseTTL:        *leaseTTL,
@@ -104,8 +120,16 @@ func run(args []string, ready chan<- string) error {
 		if ids := m.ResumeInterrupted(); len(ids) > 0 {
 			log.Printf("robustd: auto-resuming interrupted campaign(s): %v", ids)
 		}
+		if ids := tm.ResumeInterrupted(); len(ids) > 0 {
+			log.Printf("robustd: auto-resuming interrupted tune run(s): %v", ids)
+		}
 	}
-	srv := &http.Server{Handler: campaign.NewServer(m)}
+	mux := http.NewServeMux()
+	tuneHandler := tune.NewServer(tm)
+	mux.Handle("/tune", tuneHandler)
+	mux.Handle("/tune/", tuneHandler)
+	mux.Handle("/", campaign.NewServer(m))
+	srv := &http.Server{Handler: mux}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -135,17 +159,27 @@ func run(args []string, ready chan<- string) error {
 			shutdownCtx, cancel = context.WithTimeout(shutdownCtx, *shutdownT)
 			defer cancel()
 		}
+		// Stop tune searches from submitting new evaluation campaigns
+		// before the campaign manager winds down; their in-flight waits
+		// unblock as the campaigns underneath are cancelled.
+		tm.Interrupt()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
 			log.Printf("robustd: http shutdown: %v", err)
 		}
-		remaining := time.Duration(0)
-		if dl, ok := shutdownCtx.Deadline(); ok {
-			if remaining = time.Until(dl); remaining <= 0 {
-				remaining = time.Millisecond // deadline already spent; poll once
+		remaining := func() time.Duration {
+			if dl, ok := shutdownCtx.Deadline(); ok {
+				if r := time.Until(dl); r > 0 {
+					return r
+				}
+				return time.Millisecond // deadline already spent; poll once
 			}
+			return 0
 		}
-		if !m.Shutdown(remaining) {
+		if !m.Shutdown(remaining()) {
 			log.Printf("robustd: shutdown deadline expired with campaigns still winding down; exiting")
+		}
+		if !tm.Shutdown(remaining()) {
+			log.Printf("robustd: shutdown deadline expired with tune runs still winding down; exiting")
 		}
 		return nil
 	}

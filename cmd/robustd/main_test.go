@@ -324,6 +324,114 @@ func TestServeEndToEnd(t *testing.T) {
 	}
 }
 
+// TestTuneEndToEnd boots the daemon and drives the parameter-search API
+// over real HTTP: submit a tune spec, poll to completion, check the
+// winning configuration and the durable trace, and confirm the
+// evaluation campaigns are ordinary campaigns under /campaigns.
+func TestTuneEndToEnd(t *testing.T) {
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run([]string{"-addr", "127.0.0.1:0", "-data", t.TempDir(), "-shutdown-timeout", "10s"}, ready)
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-errc:
+		t.Fatalf("daemon exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+
+	spec := `{"workload":"leastsq/cg","rates":[0.02],"trials":2,"seed":3,"knobs":["budget"],"rounds":1}`
+	resp, err := http.Post(base+"/tune", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatalf("submit tune: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit tune = %d: %s", resp.StatusCode, body)
+	}
+	var submitResp map[string]string
+	if err := json.Unmarshal(body, &submitResp); err != nil {
+		t.Fatalf("submit response %q: %v", body, err)
+	}
+	id := submitResp["id"]
+
+	deadline := time.Now().Add(30 * time.Second)
+	var status struct {
+		State string             `json:"state"`
+		Error string             `json:"error"`
+		Final map[string]float64 `json:"final"`
+		Evals []struct {
+			Campaign string `json:"campaign"`
+		} `json:"evals"`
+	}
+	for {
+		resp, err := http.Get(base + "/tune/" + id)
+		if err != nil {
+			t.Fatalf("tune status: %v", err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err := json.Unmarshal(data, &status); err != nil {
+			t.Fatalf("tune status body %q: %v", data, err)
+		}
+		if status.State == "done" {
+			break
+		}
+		if status.State == "failed" {
+			t.Fatalf("tune failed: %s", status.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("tune stuck in %s", status.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, ok := status.Final["budget"]; !ok {
+		t.Errorf("final config missing the searched knob: %v", status.Final)
+	}
+	if len(status.Evals) == 0 {
+		t.Fatal("no evaluations recorded")
+	}
+
+	// The trace endpoint serves the durable search state.
+	resp, err = http.Get(base + "/tune/" + id + "/trace")
+	if err != nil {
+		t.Fatalf("trace: %v", err)
+	}
+	traceBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(traceBody), `"evals"`) {
+		t.Fatalf("trace = %d: %s", resp.StatusCode, traceBody)
+	}
+
+	// Every evaluation is an ordinary campaign, visible and done.
+	resp, err = http.Get(base + "/campaigns/" + status.Evals[0].Campaign)
+	if err != nil {
+		t.Fatalf("eval campaign: %v", err)
+	}
+	campBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(campBody), `"done"`) {
+		t.Fatalf("eval campaign = %d: %s", resp.StatusCode, campBody)
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatalf("sigint: %v", err)
+	}
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+}
+
 // TestKillRestartRecovery is the restart-durability acceptance test: a
 // robustd process is SIGKILLed (no shutdown path runs) mid-campaign, a
 // new daemon on the same data dir must list the campaign as interrupted

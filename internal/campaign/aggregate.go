@@ -6,16 +6,27 @@ import (
 )
 
 // OnlineStats accumulates one cell's trial values in O(1) memory: count,
-// Welford mean/variance, min/max, and P²-estimated quantiles. It powers
-// live mid-run status; final tables are materialized exactly from the
-// store instead (TableFromStore), so the estimates here never leak into
-// published results.
+// Welford mean/variance, min/max, and a median that is exact up to
+// exactMedianCap values (a small bounded buffer) before spilling to the
+// P² streaming estimate. It powers live mid-run status; final tables are
+// materialized exactly from the store instead (TableFromStore), so the
+// estimates here never leak into published results — but most cells hold
+// well under exactMedianCap trials, so for them mid-run status agrees
+// exactly with the final table instead of silently drifting.
 type OnlineStats struct {
 	n        int
 	mean, m2 float64
 	min, max float64
 	med      p2Quantile
+	// exact holds every value while n <= exactMedianCap; past the cap it
+	// is released and Median falls back to the P² estimate.
+	exact []float64
 }
+
+// exactMedianCap bounds the exact-median buffer. Cells at or under this
+// many trials report their true median mid-run; larger cells spill to
+// the P² estimate and are flagged MedianEstimated.
+const exactMedianCap = 64
 
 // Add folds one value into the stats.
 func (o *OnlineStats) Add(x float64) {
@@ -34,6 +45,11 @@ func (o *OnlineStats) Add(x float64) {
 		o.max = x
 	}
 	o.med.add(x)
+	if o.n <= exactMedianCap {
+		o.exact = append(o.exact, x)
+	} else {
+		o.exact = nil // spilled: the buffer is bounded, free it
+	}
 }
 
 // Count returns how many values were folded in.
@@ -70,13 +86,29 @@ func (o *OnlineStats) Max() float64 {
 	return o.max
 }
 
-// Median returns the P² running median estimate. Exact for the first five
-// values, then an interpolated estimate with O(1) state.
+// Median returns the running median: exact while at most exactMedianCap
+// values have been folded in, then the P² streaming estimate (see
+// MedianEstimated).
 func (o *OnlineStats) Median() float64 {
 	if o.n == 0 {
 		return math.NaN()
 	}
+	if o.exact != nil {
+		c := append([]float64(nil), o.exact...)
+		sort.Float64s(c)
+		if len(c)%2 == 1 {
+			return c[len(c)/2]
+		}
+		return 0.5 * (c[len(c)/2-1] + c[len(c)/2])
+	}
 	return o.med.value()
+}
+
+// MedianEstimated reports whether Median has spilled to the P² estimate
+// (more than exactMedianCap values) and may disagree with the exact
+// median of the underlying trials.
+func (o *OnlineStats) MedianEstimated() bool {
+	return o.n > exactMedianCap
 }
 
 // p2Quantile is the Jain & Chlamtac P² streaming quantile estimator: five

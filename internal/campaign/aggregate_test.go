@@ -91,6 +91,99 @@ func TestP2MonotoneStream(t *testing.T) {
 	}
 }
 
+// TestOnlineStatsExactMedianUpToCap: up to exactMedianCap values the
+// reported median must equal the exact median bit-for-bit (and not be
+// flagged estimated) — that is the /status honesty contract.
+func TestOnlineStatsExactMedianUpToCap(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 2, 5, 6, 17, 63, 64} {
+		var o OnlineStats
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+			o.Add(xs[i])
+		}
+		c := append([]float64(nil), xs...)
+		sort.Float64s(c)
+		var want float64
+		if n%2 == 1 {
+			want = c[n/2]
+		} else {
+			want = 0.5 * (c[n/2-1] + c[n/2])
+		}
+		if got := o.Median(); got != want {
+			t.Errorf("n=%d: median = %v, want exact %v", n, got, want)
+		}
+		if o.MedianEstimated() {
+			t.Errorf("n=%d: flagged estimated below the cap", n)
+		}
+	}
+}
+
+// TestOnlineStatsMedianSpillsToP2: past the cap the buffer is released,
+// the estimate takes over, and the cell is flagged.
+func TestOnlineStatsMedianSpillsToP2(t *testing.T) {
+	var o OnlineStats
+	for i := 0; i < exactMedianCap+1; i++ {
+		o.Add(float64(i))
+	}
+	if !o.MedianEstimated() {
+		t.Error("past the cap the median must be flagged estimated")
+	}
+	if o.exact != nil {
+		t.Error("exact buffer not released after spilling")
+	}
+	if o.Median() != o.med.value() {
+		t.Errorf("spilled median = %v, want the P² value %v", o.Median(), o.med.value())
+	}
+}
+
+// TestP2QuantileTracksExactMedian is the property test: across random
+// streams of varying size and distribution shape, the P² estimate must
+// stay within a tolerance band of the exact median, scaled to the
+// sample's interquartile range (the natural resolution of a five-marker
+// quantile sketch).
+func TestP2QuantileTracksExactMedian(t *testing.T) {
+	shapes := []struct {
+		name string
+		gen  func(*rand.Rand) float64
+	}{
+		{"uniform", func(r *rand.Rand) float64 { return r.Float64() }},
+		{"normal", func(r *rand.Rand) float64 { return r.NormFloat64()*5 + 100 }},
+		{"exponential", func(r *rand.Rand) float64 { return r.ExpFloat64() }},
+		// Overlapping modes: P² has no useful bound when the median falls
+		// in a zero-density gap (its markers interpolate across the gap),
+		// so the bimodal case keeps density at the median.
+		{"bimodal", func(r *rand.Rand) float64 {
+			if r.Intn(2) == 0 {
+				return r.NormFloat64() - 2
+			}
+			return r.NormFloat64() + 2
+		}},
+	}
+	for _, shape := range shapes {
+		for seed := int64(1); seed <= 5; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			for _, n := range []int{100, 500, 2000} {
+				est := newP2(0.5)
+				xs := make([]float64, n)
+				for i := range xs {
+					xs[i] = shape.gen(rng)
+					est.add(xs[i])
+				}
+				sort.Float64s(xs)
+				exact := 0.5 * (xs[(n-1)/2] + xs[n/2])
+				iqr := xs[(3*n)/4] - xs[n/4]
+				tol := 0.25 * iqr
+				if d := math.Abs(est.value() - exact); d > tol {
+					t.Errorf("%s seed=%d n=%d: |P² − exact| = %v > %v (est %v, exact %v)",
+						shape.name, seed, n, d, tol, est.value(), exact)
+				}
+			}
+		}
+	}
+}
+
 func TestJSONFloatNaN(t *testing.T) {
 	if b, err := JSONFloat(math.NaN()).MarshalJSON(); err != nil || string(b) != "null" {
 		t.Errorf("NaN -> %s, %v; want null", b, err)

@@ -48,7 +48,7 @@ func (c *Campaign) TableFromStore(st *Store) *harness.Table {
 			if len(xs) == 0 {
 				continue
 			}
-			pts = append(pts, harness.Point{Rate: rate, Value: agg(xs)})
+			pts = append(pts, harness.Point{Rate: rate, RateIdx: r, Value: agg(xs)})
 		}
 		t.Series[i] = harness.Series{Name: u.Series, Points: pts}
 	}
@@ -83,8 +83,12 @@ type CellStatus struct {
 	Total  int       `json:"total"`
 	Mean   JSONFloat `json:"mean"`
 	Median JSONFloat `json:"median"`
-	Min    JSONFloat `json:"min"`
-	Max    JSONFloat `json:"max"`
+	// MedianEstimated marks a median that has spilled from the exact
+	// small-cell buffer to the P² streaming estimate, so mid-run JSON can
+	// no longer promise agreement with the exact final table.
+	MedianEstimated bool      `json:"median_estimated,omitempty"`
+	Min             JSONFloat `json:"min"`
+	Max             JSONFloat `json:"max"`
 }
 
 // UnitStatus is the live view of one series.
@@ -211,7 +215,8 @@ func (e *Execution) Status() []UnitStatus {
 			us.Cells = append(us.Cells, CellStatus{
 				Rate: rate, Done: s.Count(), Total: trials,
 				Mean: JSONFloat(s.Mean()), Median: JSONFloat(s.Median()),
-				Min: JSONFloat(s.Min()), Max: JSONFloat(s.Max()),
+				MedianEstimated: s.MedianEstimated(),
+				Min:             JSONFloat(s.Min()), Max: JSONFloat(s.Max()),
 			})
 		}
 		out[i] = us

@@ -196,6 +196,33 @@ func NewManager(root string, maxConcurrent int) (*Manager, error) {
 	return m, nil
 }
 
+// reusableDir reports whether dir is the husk of a Submit a crash cut
+// short: nothing inside beyond an empty store file (Store.Open creates
+// trials.jsonl before SaveSpec writes the spec, so that is the only
+// artifact a crash in that window leaves). Recovery ignores such
+// directories, no goroutine owns them (the data-root flock admits one
+// manager), so a new campaign may safely claim the id. Any other
+// content — a spec, a meta, recorded trials, or foreign files — is
+// somebody's data and keeps its id out of circulation; Submit must
+// never claim (or, on its error paths, remove) a directory it cannot
+// prove is its own leftover.
+func reusableDir(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if e.Name() != storeFile {
+			return false
+		}
+		fi, err := e.Info()
+		if err != nil || fi.Size() != 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // lockRoot takes an exclusive advisory lock on the data root, refusing to
 // share it with another live manager: recovery classifies queued/running
 // campaigns as ownerless, which is only sound if no other process owns
@@ -236,11 +263,17 @@ func (m *Manager) Submit(spec Spec) (string, error) {
 	// nextID already continues past the highest recovered id; the probe
 	// additionally skips stray directories not created by a manager, whose
 	// contents would otherwise be served as cached trials for this grid.
+	// Husks a crash cut out of a previous Submit (no spec, no meta, no
+	// recorded trial) are reclaimed instead of skipped, so id allocation
+	// stays deterministic across kill-and-resume runs — which is what
+	// keeps a resumed tune search's campaign ids aligned with an
+	// uninterrupted one.
 	var id string
 	for {
 		m.nextID++
 		id = fmt.Sprintf("c%04d", m.nextID)
-		if _, err := os.Stat(filepath.Join(m.root, id)); os.IsNotExist(err) {
+		dir := filepath.Join(m.root, id)
+		if _, err := os.Stat(dir); os.IsNotExist(err) || reusableDir(dir) {
 			break
 		}
 	}

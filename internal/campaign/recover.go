@@ -28,17 +28,40 @@ func (m *Manager) recoverAll() error {
 		if !e.IsDir() {
 			continue
 		}
-		if n, ok := campaignID(e.Name()); ok && n > m.nextID {
-			m.nextID = n
+		dir := filepath.Join(m.root, e.Name())
+		advance := func() {
+			if n, ok := campaignID(e.Name()); ok && n > m.nextID {
+				m.nextID = n
+			}
 		}
-		h, err := recoverHandle(e.Name(), filepath.Join(m.root, e.Name()))
+		h, err := recoverHandle(e.Name(), dir)
 		if err != nil {
-			log.Printf("campaign: skipping unrecoverable %s: %v", filepath.Join(m.root, e.Name()), err)
+			log.Printf("campaign: skipping unrecoverable %s: %v", dir, err)
+			advance()
 			continue
 		}
 		if h == nil {
-			continue // not a campaign directory
+			// Not a campaign directory. A reclaimable husk (a Submit a
+			// crash cut short before its spec landed — provably this
+			// manager's own leftover: it carries the manager's cNNNN name
+			// AND holds nothing but an empty store) is deleted outright:
+			// leaving it would strand it invisibly forever once later ids
+			// exist, and removing it keeps id allocation deterministic
+			// across kill-and-resume runs (Submit finds the id free
+			// again). Anything else — operator dirs under the data root,
+			// however empty — is not ours to touch; manager-named stray
+			// data additionally keeps its id out of circulation.
+			if _, ours := campaignID(e.Name()); ours && reusableDir(dir) {
+				if err := os.RemoveAll(dir); err != nil {
+					log.Printf("campaign: remove crash husk %s: %v", dir, err)
+					advance()
+				}
+			} else {
+				advance()
+			}
+			continue
 		}
+		advance()
 		h.counter = &m.trials
 		m.byID[h.id] = h
 		m.order = append(m.order, h.id)

@@ -1,0 +1,83 @@
+package campaign
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestSubmitReclaimsHuskDir: a campaign directory a crash cut out of the
+// latest Submit — no spec, no meta, empty store — must not shift id
+// allocation: the next Submit reclaims it. (A crash husk is always the
+// highest id, since Submit allocates ids in order.) Deterministic ids
+// across kill-and-resume runs are what keep resumed tune traces
+// byte-identical to uninterrupted ones.
+func TestSubmitReclaimsHuskDir(t *testing.T) {
+	root := t.TempDir()
+	// Stray non-campaign data keeps its id out of circulation.
+	stray := filepath.Join(root, "c0001")
+	if err := os.MkdirAll(stray, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(stray, "trials.jsonl"), []byte("not ours\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A directory holding foreign files (no campaign artifacts at all)
+	// is also somebody's data — Submit must neither claim it nor, on its
+	// error paths, delete it.
+	foreign := filepath.Join(root, "c0002")
+	if err := os.MkdirAll(foreign, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(foreign, "notes.txt"), []byte("keep me\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// The husk: directory plus empty store file, as a SIGKILL between
+	// Store.Open and SaveSpec leaves behind.
+	husk := filepath.Join(root, "c0003")
+	if err := os.MkdirAll(husk, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(husk, "trials.jsonl"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// A non-manager-named directory — however empty — is not ours to
+	// touch: recovery must leave it alone, not delete it as a husk.
+	if err := os.MkdirAll(filepath.Join(root, "archive"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := NewManager(root, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if _, err := os.Stat(filepath.Join(root, "archive")); err != nil {
+		t.Errorf("operator directory disturbed by recovery: %v", err)
+	}
+	spec := Spec{Custom: &CustomSweep{Workload: "sort/base", Rates: []float64{0.01}}, Trials: 1, Seed: 1}
+	id, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != "c0003" {
+		t.Errorf("first submit = %s, want the reclaimed c0003", id)
+	}
+	id2, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id2 != "c0004" {
+		t.Errorf("second submit = %s, want c0004", id2)
+	}
+	if err := m.Wait(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Wait(id2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.ReadFile(filepath.Join(foreign, "notes.txt")); err != nil {
+		t.Errorf("foreign file disturbed: %v", err)
+	}
+}

@@ -37,39 +37,39 @@ func NewServer(m *Manager) http.Handler {
 	mux.HandleFunc("POST /campaigns", func(w http.ResponseWriter, r *http.Request) {
 		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
 		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
+			HTTPError(w, http.StatusBadRequest, err)
 			return
 		}
 		spec, err := ParseSpec(body)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
+			HTTPError(w, http.StatusBadRequest, err)
 			return
 		}
 		id, err := m.Submit(spec)
 		if err != nil {
-			httpError(w, http.StatusInternalServerError, err)
+			HTTPError(w, http.StatusInternalServerError, err)
 			return
 		}
-		writeJSON(w, http.StatusAccepted, map[string]string{"id": id})
+		WriteJSON(w, http.StatusAccepted, map[string]string{"id": id})
 	})
 
 	mux.HandleFunc("GET /campaigns", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, m.List())
+		WriteJSON(w, http.StatusOK, m.List())
 	})
 
 	mux.HandleFunc("GET /campaigns/{id}", func(w http.ResponseWriter, r *http.Request) {
 		status, err := m.Get(r.PathValue("id"))
 		if err != nil {
-			httpError(w, http.StatusNotFound, err)
+			HTTPError(w, http.StatusNotFound, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, status)
+		WriteJSON(w, http.StatusOK, status)
 	})
 
 	mux.HandleFunc("GET /campaigns/{id}/results", func(w http.ResponseWriter, r *http.Request) {
 		table, err := m.Table(r.PathValue("id"))
 		if err != nil {
-			httpError(w, http.StatusNotFound, err)
+			HTTPError(w, http.StatusNotFound, err)
 			return
 		}
 		switch format := r.URL.Query().Get("format"); format {
@@ -84,26 +84,26 @@ func NewServer(m *Manager) http.Handler {
 				log.Printf("campaign: write csv results for %s: %v", r.PathValue("id"), err)
 			}
 		case "json":
-			writeJSON(w, http.StatusOK, tableJSON(table))
+			WriteJSON(w, http.StatusOK, tableJSON(table))
 		default:
-			httpError(w, http.StatusBadRequest, fmt.Errorf("unknown format %q (want text, csv, or json)", format))
+			HTTPError(w, http.StatusBadRequest, fmt.Errorf("unknown format %q (want text, csv, or json)", format))
 		}
 	})
 
 	mux.HandleFunc("POST /campaigns/{id}/cancel", func(w http.ResponseWriter, r *http.Request) {
 		if err := m.Cancel(r.PathValue("id")); err != nil {
-			httpError(w, http.StatusNotFound, err)
+			HTTPError(w, http.StatusNotFound, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]string{"status": "cancelling"})
+		WriteJSON(w, http.StatusOK, map[string]string{"status": "cancelling"})
 	})
 
 	mux.HandleFunc("POST /campaigns/{id}/resume", func(w http.ResponseWriter, r *http.Request) {
 		if err := m.Resume(r.PathValue("id")); err != nil {
-			httpError(w, http.StatusConflict, err)
+			HTTPError(w, http.StatusConflict, err)
 			return
 		}
-		writeJSON(w, http.StatusAccepted, map[string]string{"status": "resuming"})
+		WriteJSON(w, http.StatusAccepted, map[string]string{"status": "resuming"})
 	})
 
 	mux.HandleFunc("GET /workloads", func(w http.ResponseWriter, r *http.Request) {
@@ -111,16 +111,21 @@ func NewServer(m *Manager) http.Handler {
 			Name         string `json:"name"`
 			Desc         string `json:"desc"`
 			DefaultIters int    `json:"default_iters,omitempty"`
+			Maximize     bool   `json:"maximize,omitempty"`
+			Knobs        []Knob `json:"knobs,omitempty"`
 		}
 		var out []wl
 		for _, item := range Workloads() {
-			out = append(out, wl{Name: item.Name, Desc: item.Desc, DefaultIters: item.DefaultIters})
+			out = append(out, wl{
+				Name: item.Name, Desc: item.Desc, DefaultIters: item.DefaultIters,
+				Maximize: item.Maximize, Knobs: item.Knobs,
+			})
 		}
-		writeJSON(w, http.StatusOK, out)
+		WriteJSON(w, http.StatusOK, out)
 	})
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		WriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 
 	mux.HandleFunc("GET /metrics", metricsHandler(m))
@@ -131,7 +136,7 @@ func NewServer(m *Manager) http.Handler {
 	dispatcher := func(w http.ResponseWriter) *dispatch.Coordinator {
 		d := m.Dispatcher()
 		if d == nil {
-			httpError(w, http.StatusServiceUnavailable,
+			HTTPError(w, http.StatusServiceUnavailable,
 				fmt.Errorf("distributed execution disabled; start robustd with -workers-expected"))
 		}
 		return d
@@ -144,12 +149,12 @@ func NewServer(m *Manager) http.Handler {
 		}
 		var req dispatch.RegisterRequest
 		if err := readJSON(r, &req); err != nil {
-			httpError(w, http.StatusBadRequest, err)
+			HTTPError(w, http.StatusBadRequest, err)
 			return
 		}
 		resp := d.Register(req)
 		log.Printf("campaign: worker %s registered (%s)", resp.Worker, req.Name)
-		writeJSON(w, http.StatusOK, resp)
+		WriteJSON(w, http.StatusOK, resp)
 	})
 
 	mux.HandleFunc("POST /workers/lease", func(w http.ResponseWriter, r *http.Request) {
@@ -159,19 +164,19 @@ func NewServer(m *Manager) http.Handler {
 		}
 		var req dispatch.LeaseRequest
 		if err := readJSON(r, &req); err != nil {
-			httpError(w, http.StatusBadRequest, err)
+			HTTPError(w, http.StatusBadRequest, err)
 			return
 		}
 		lease, err := d.Lease(req)
 		if err != nil {
-			httpError(w, http.StatusNotFound, err)
+			HTTPError(w, http.StatusNotFound, err)
 			return
 		}
 		if lease == nil {
 			w.WriteHeader(http.StatusNoContent)
 			return
 		}
-		writeJSON(w, http.StatusOK, lease)
+		WriteJSON(w, http.StatusOK, lease)
 	})
 
 	mux.HandleFunc("POST /workers/report", func(w http.ResponseWriter, r *http.Request) {
@@ -181,15 +186,15 @@ func NewServer(m *Manager) http.Handler {
 		}
 		var req dispatch.ReportRequest
 		if err := readJSON(r, &req); err != nil {
-			httpError(w, http.StatusBadRequest, err)
+			HTTPError(w, http.StatusBadRequest, err)
 			return
 		}
 		resp, err := d.Report(req)
 		if err != nil {
-			httpError(w, http.StatusNotFound, err)
+			HTTPError(w, http.StatusNotFound, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, resp)
+		WriteJSON(w, http.StatusOK, resp)
 	})
 
 	mux.HandleFunc("GET /workers", func(w http.ResponseWriter, r *http.Request) {
@@ -197,7 +202,7 @@ func NewServer(m *Manager) http.Handler {
 		if d == nil {
 			return
 		}
-		writeJSON(w, http.StatusOK, d.Workers())
+		WriteJSON(w, http.StatusOK, d.Workers())
 	})
 
 	return mux
@@ -217,7 +222,9 @@ func readJSON(r *http.Request, v any) error {
 	return nil
 }
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
+// WriteJSON writes an indented JSON response; shared by the campaign
+// and tune HTTP APIs mounted on the same robustd mux.
+func WriteJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
@@ -229,8 +236,9 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	}
 }
 
-func httpError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]string{"error": err.Error()})
+// HTTPError writes the API's uniform {"error": ...} response.
+func HTTPError(w http.ResponseWriter, code int, err error) {
+	WriteJSON(w, code, map[string]string{"error": err.Error()})
 }
 
 // tableJSON is the wire form of a results table.

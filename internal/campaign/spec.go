@@ -48,6 +48,13 @@ type CustomSweep struct {
 	Iters int `json:"iters,omitempty"`
 	// Agg is the cell aggregator: "mean" (default) or "median".
 	Agg string `json:"agg,omitempty"`
+	// Params overrides the workload's declared knobs (see Workload.Knobs):
+	// algorithm parameters like penalty weight or step-schedule constants.
+	// Keys must name declared knobs — unknown keys are rejected at
+	// validation, so a typo can't silently run the defaults. Omitted knobs
+	// keep their declared defaults. Params shape the grid's trial values,
+	// so they are part of the spec's resume identity.
+	Params map[string]float64 `json:"params,omitempty"`
 }
 
 // Validate checks the spec without compiling it.
@@ -73,7 +80,11 @@ func (s *Spec) Validate() error {
 		return nil
 	}
 	c := s.Custom
-	if _, err := workloadByName(c.Workload); err != nil {
+	w, err := WorkloadByName(c.Workload)
+	if err != nil {
+		return err
+	}
+	if _, err := w.resolveParams(c.Params); err != nil {
 		return err
 	}
 	if len(c.Rates) == 0 {

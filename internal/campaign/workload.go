@@ -4,9 +4,14 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
+	"robustify/internal/apps/apsp"
 	"robustify/internal/apps/eigen"
+	"robustify/internal/apps/leastsq"
 	"robustify/internal/apps/robsort"
+	"robustify/internal/apps/svm"
+	"robustify/internal/core"
 	"robustify/internal/figures"
 	"robustify/internal/fpu"
 	"robustify/internal/harness"
@@ -14,15 +19,43 @@ import (
 	"robustify/internal/solver"
 )
 
+// Knob is one declared tunable parameter of a workload: the paper's
+// "knobs" — penalty weight, step-schedule constants, iteration budgets —
+// that decide how much fault tolerance the robustified form actually
+// delivers. A knob carries its default, validity bounds, and the search
+// grid the tune subsystem walks.
+type Knob struct {
+	Name    string  `json:"name"`
+	Desc    string  `json:"desc"`
+	Default float64 `json:"default"`
+	// Min and Max bound accepted values (inclusive); both zero means
+	// unbounded.
+	Min float64 `json:"min,omitempty"`
+	Max float64 `json:"max,omitempty"`
+	// Grid is the declared candidate set for parameter search, in
+	// ascending order; it always contains Default.
+	Grid []float64 `json:"grid,omitempty"`
+}
+
 // Workload is a named trial function available to custom sweeps.
 type Workload struct {
 	Name string
 	Desc string
 	// DefaultIters scales the workload when the spec leaves Iters at 0.
 	DefaultIters int
-	// Build returns the trial function. Every per-trial random choice
-	// derives from the trial seed, so the workload is replayable.
-	Build func(iters int) harness.TrialFunc
+	// Maximize reports the metric direction: true for success rates and
+	// accuracies, false for error metrics. Parameter search uses it to
+	// rank candidate configurations.
+	Maximize bool
+	// Knobs declares the workload's tunable parameters. Sweeps may
+	// override them via CustomSweep.Params; the tune subsystem searches
+	// their grids.
+	Knobs []Knob
+	// Build returns the trial function for the given iteration budget and
+	// fully resolved knob values (every declared knob present). Every
+	// per-trial random choice derives from the trial seed, so the
+	// workload is replayable — on resume and on remote workers alike.
+	Build func(iters int, params map[string]float64) harness.TrialFunc
 }
 
 // Workloads lists the registered custom-sweep workloads.
@@ -39,7 +72,8 @@ func Workloads() []Workload {
 		{
 			Name: "sort/base", Desc: "quicksort success rate (5-element arrays)",
 			DefaultIters: 0,
-			Build: func(int) harness.TrialFunc {
+			Maximize:     true,
+			Build: func(int, map[string]float64) harness.TrialFunc {
 				return func(rate float64, seed uint64) float64 {
 					data := sortData(seed)
 					u := fpu.New(fpu.WithFaultRate(rate, seed))
@@ -50,7 +84,8 @@ func Workloads() []Workload {
 		{
 			Name: "sort/robust", Desc: "robust SGD sort success rate (SGD+AS,SQS with tail averaging)",
 			DefaultIters: 10000,
-			Build: func(iters int) harness.TrialFunc {
+			Maximize:     true,
+			Build: func(iters int, _ map[string]float64) harness.TrialFunc {
 				return func(rate float64, seed uint64) float64 {
 					data := sortData(seed)
 					u := fpu.New(fpu.WithFaultRate(rate, seed))
@@ -70,7 +105,7 @@ func Workloads() []Workload {
 		{
 			Name: "eigen/power", Desc: "power-iteration dominant-eigenvalue relative error (n=6)",
 			DefaultIters: 300,
-			Build: func(iters int) harness.TrialFunc {
+			Build: func(iters int, _ map[string]float64) harness.TrialFunc {
 				return func(rate float64, seed uint64) float64 {
 					m, want := eigenInstance(seed)
 					u := fpu.New(fpu.WithFaultRate(rate, seed))
@@ -82,7 +117,7 @@ func Workloads() []Workload {
 		{
 			Name: "eigen/robust", Desc: "robust Rayleigh-ascent dominant-eigenvalue relative error (n=6)",
 			DefaultIters: 2000,
-			Build: func(iters int) harness.TrialFunc {
+			Build: func(iters int, _ map[string]float64) harness.TrialFunc {
 				return func(rate float64, seed uint64) float64 {
 					m, want := eigenInstance(seed)
 					u := fpu.New(fpu.WithFaultRate(rate, seed))
@@ -94,10 +129,133 @@ func Workloads() []Workload {
 				}
 			},
 		},
+		{
+			Name: "lp/apsp", Desc: "penalty-LP all-pairs shortest paths mean relative error (n=5)",
+			DefaultIters: 2000,
+			Knobs: []Knob{
+				{
+					Name: "mu", Desc: "exact-penalty weight (core/lp PenaltyLP)",
+					Default: 8, Min: 1e-6, Max: 1e6,
+					Grid: []float64{1, 2, 4, 8, 16, 32},
+				},
+			},
+			Build: func(iters int, params map[string]float64) harness.TrialFunc {
+				mu := params["mu"]
+				return func(rate float64, seed uint64) float64 {
+					rng := rand.New(rand.NewSource(int64(seed)))
+					inst := apsp.RandomInstance(rng, 5, 5, 5)
+					u := fpu.New(fpu.WithFaultRate(rate, seed))
+					d, _, err := inst.Robust(u, apsp.Options{
+						Iters: iters, Kind: core.PenaltyAbs, Mu: mu, Tail: iters / 5,
+					})
+					if err != nil {
+						return 1e6
+					}
+					return capErr(inst.MeanRelErr(d))
+				}
+			},
+		},
+		{
+			Name: "leastsq/sgd", Desc: "robust SGD least squares relative error (A 30x6)",
+			DefaultIters: 400,
+			Knobs: []Knob{
+				{
+					Name: "boost", Desc: "LS schedule constant: eta0 = boost/lipschitz (1/t decay)",
+					Default: 8, Min: 1e-3, Max: 1e3,
+					Grid: []float64{1, 2, 4, 8, 16, 32},
+				},
+			},
+			Build: func(iters int, params map[string]float64) harness.TrialFunc {
+				boost := params["boost"]
+				return func(rate float64, seed uint64) float64 {
+					inst, err := lsqInstance(seed)
+					if err != nil {
+						return 1e6
+					}
+					u := fpu.New(fpu.WithFaultRate(rate, seed))
+					x, _, err := inst.SolveSGD(u, leastsq.SGDOptions{
+						Iters:    iters,
+						Schedule: inst.LinearSchedule(boost),
+					})
+					if err != nil {
+						return 1e6
+					}
+					return capErr(inst.RelErr(x))
+				}
+			},
+		},
+		{
+			Name: "leastsq/cg", Desc: "conjugate gradient least squares relative error (A 30x6); the budget knob sets CG iterations (Iters is unused)",
+			DefaultIters: 0,
+			Knobs: []Knob{
+				{
+					Name: "budget", Desc: "CG iteration budget (solver/cg)",
+					Default: 10, Min: 1, Max: 1000,
+					Grid: []float64{2, 4, 6, 10, 15, 20},
+				},
+				{
+					Name: "restart", Desc: "reset the CG direction every N iterations (0 = off)",
+					Default: 0, Min: 0, Max: 1000,
+					Grid: []float64{0, 2, 5},
+				},
+			},
+			Build: func(_ int, params map[string]float64) harness.TrialFunc {
+				budget := intParam(params, "budget")
+				restart := intParam(params, "restart")
+				return func(rate float64, seed uint64) float64 {
+					inst, err := lsqInstance(seed)
+					if err != nil {
+						return 1e6
+					}
+					u := fpu.New(fpu.WithFaultRate(rate, seed))
+					x, _, err := inst.SolveCG(u, budget, restart)
+					if err != nil {
+						return 1e6
+					}
+					return capErr(inst.RelErr(x))
+				}
+			},
+		},
+		{
+			Name: "svm/robust", Desc: "robust Pegasos SVM held-out accuracy (60 train / 100 test, d=6)",
+			DefaultIters: 500,
+			Maximize:     true,
+			Knobs: []Knob{
+				{
+					Name: "lambda", Desc: "hinge-loss regularization weight",
+					Default: 0.01, Min: 1e-6, Max: 10,
+					Grid: []float64{0.001, 0.003, 0.01, 0.03, 0.1},
+				},
+				{
+					Name: "step", Desc: "step-schedule scale: eta_t = step/(lambda*t)",
+					Default: 1, Min: 1e-3, Max: 1e3,
+					Grid: []float64{0.25, 0.5, 1, 2, 4},
+				},
+			},
+			Build: func(iters int, params map[string]float64) harness.TrialFunc {
+				lambda, step := params["lambda"], params["step"]
+				return func(rate float64, seed uint64) float64 {
+					rng := rand.New(rand.NewSource(int64(seed)))
+					data := svm.TwoGaussians(rng, 60, 100, 6, 2.0)
+					u := fpu.New(fpu.WithFaultRate(rate, seed))
+					w, _, err := svm.Train(u, data, svm.Options{
+						Iters:    iters,
+						Lambda:   lambda,
+						Schedule: solver.Linear(step / lambda),
+					})
+					if err != nil {
+						return 0
+					}
+					return data.Accuracy(w)
+				}
+			},
+		},
 	}
 }
 
-func workloadByName(name string) (Workload, error) {
+// WorkloadByName resolves a registered workload; the tune layer shares
+// this lookup.
+func WorkloadByName(name string) (Workload, error) {
 	for _, w := range Workloads() {
 		if w.Name == name {
 			return w, nil
@@ -106,10 +264,94 @@ func workloadByName(name string) (Workload, error) {
 	return Workload{}, fmt.Errorf("campaign: unknown workload %q", name)
 }
 
+// DefaultParams returns every declared knob at its default value.
+func (w Workload) DefaultParams() map[string]float64 {
+	if len(w.Knobs) == 0 {
+		return nil
+	}
+	p := make(map[string]float64, len(w.Knobs))
+	for _, k := range w.Knobs {
+		p[k.Name] = k.Default
+	}
+	return p
+}
+
+// KnobByName returns a declared knob.
+func (w Workload) KnobByName(name string) (Knob, bool) {
+	for _, k := range w.Knobs {
+		if k.Name == name {
+			return k, true
+		}
+	}
+	return Knob{}, false
+}
+
+// resolveParams validates overrides against the declared knobs and
+// returns the full parameter map (defaults overlaid with overrides).
+// Unknown keys, non-finite values, and out-of-bounds values are
+// rejected — a mistyped knob name must fail at submit time, not silently
+// run the defaults.
+func (w Workload) resolveParams(overrides map[string]float64) (map[string]float64, error) {
+	full := w.DefaultParams()
+	if len(overrides) == 0 {
+		return full, nil
+	}
+	// Deterministic error selection: report the smallest offending key.
+	keys := make([]string, 0, len(overrides))
+	for k := range overrides {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, name := range keys {
+		v := overrides[name]
+		k, ok := w.KnobByName(name)
+		if !ok {
+			return nil, fmt.Errorf("campaign: workload %s has no knob %q (declared: %v)", w.Name, name, w.knobNames())
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("campaign: workload %s knob %q: non-finite value %v", w.Name, name, v)
+		}
+		if (k.Min != 0 || k.Max != 0) && (v < k.Min || v > k.Max) {
+			return nil, fmt.Errorf("campaign: workload %s knob %q: %v outside [%v, %v]", w.Name, name, v, k.Min, k.Max)
+		}
+		full[name] = v
+	}
+	return full, nil
+}
+
+func (w Workload) knobNames() []string {
+	names := make([]string, len(w.Knobs))
+	for i, k := range w.Knobs {
+		names[i] = k.Name
+	}
+	return names
+}
+
+// intParam reads a knob that semantically is a count.
+func intParam(params map[string]float64, name string) int {
+	return int(math.Round(params[name]))
+}
+
+// capErr clamps error metrics so one diverged trial cannot swamp a mean
+// (shared convention: harness.CapErr, same clamp the figure builders
+// apply).
+func capErr(v float64) float64 { return harness.CapErr(v) }
+
+// lsqInstance derives a per-trial least squares instance (A 30x6 with
+// mild observation noise) from the trial seed.
+func lsqInstance(seed uint64) (*leastsq.Instance, error) {
+	rng := rand.New(rand.NewSource(int64(seed)))
+	return leastsq.Random(rng, 30, 6, 0.01)
+}
+
 // customPlan compiles a custom sweep to a single-unit figure plan so the
 // engine treats figures and custom sweeps identically.
 func customPlan(spec Spec) (*figures.Plan, error) {
-	w, err := workloadByName(spec.Custom.Workload)
+	w, err := WorkloadByName(spec.Custom.Workload)
+	if err != nil {
+		return nil, err
+	}
+	params, err := w.resolveParams(spec.Custom.Params)
 	if err != nil {
 		return nil, err
 	}
@@ -140,7 +382,7 @@ func customPlan(spec Spec) (*figures.Plan, error) {
 				Seed:    spec.Seed,
 				Workers: spec.Workers,
 			},
-			Fn: w.Build(iters),
+			Fn: w.Build(iters, params),
 		}},
 	}, nil
 }

@@ -1,0 +1,130 @@
+package campaign
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestWorkloadKnobDeclarations sanity-checks the registry: grids are
+// ascending, contain the default, and respect the knob's own bounds —
+// the contract the tune subsystem's search relies on.
+func TestWorkloadKnobDeclarations(t *testing.T) {
+	for _, w := range Workloads() {
+		seen := map[string]bool{}
+		for _, k := range w.Knobs {
+			if k.Name == "" {
+				t.Errorf("%s: knob with empty name", w.Name)
+			}
+			if seen[k.Name] {
+				t.Errorf("%s: duplicate knob %q", w.Name, k.Name)
+			}
+			seen[k.Name] = true
+			if len(k.Grid) == 0 {
+				t.Errorf("%s/%s: empty grid", w.Name, k.Name)
+				continue
+			}
+			if !sort.Float64sAreSorted(k.Grid) {
+				t.Errorf("%s/%s: grid not ascending: %v", w.Name, k.Name, k.Grid)
+			}
+			hasDefault := false
+			for _, v := range k.Grid {
+				if v == k.Default {
+					hasDefault = true
+				}
+				if (k.Min != 0 || k.Max != 0) && (v < k.Min || v > k.Max) {
+					t.Errorf("%s/%s: grid value %v outside [%v, %v]", w.Name, k.Name, v, k.Min, k.Max)
+				}
+			}
+			if !hasDefault {
+				t.Errorf("%s/%s: default %v not in grid %v", w.Name, k.Name, k.Default, k.Grid)
+			}
+		}
+	}
+}
+
+func TestCustomSweepParamsValidation(t *testing.T) {
+	base := func(params map[string]float64) *Spec {
+		return &Spec{
+			Custom: &CustomSweep{Workload: "lp/apsp", Rates: []float64{0.01}, Params: params},
+			Seed:   1,
+		}
+	}
+	if err := base(nil).Validate(); err != nil {
+		t.Errorf("nil params: %v", err)
+	}
+	if err := base(map[string]float64{"mu": 4}).Validate(); err != nil {
+		t.Errorf("declared knob rejected: %v", err)
+	}
+	if err := base(map[string]float64{"nope": 4}).Validate(); err == nil {
+		t.Error("unknown knob accepted")
+	} else if !strings.Contains(err.Error(), "nope") {
+		t.Errorf("unknown-knob error does not name the key: %v", err)
+	}
+	if err := base(map[string]float64{"mu": -1}).Validate(); err == nil {
+		t.Error("out-of-bounds knob accepted")
+	}
+	nan := 0.0
+	nan /= nan
+	if err := base(map[string]float64{"mu": nan}).Validate(); err == nil {
+		t.Error("NaN knob accepted")
+	}
+	// Workloads without knobs reject any params.
+	noKnobs := &Spec{
+		Custom: &CustomSweep{Workload: "sort/base", Rates: []float64{0.01},
+			Params: map[string]float64{"mu": 1}},
+		Seed: 1,
+	}
+	if err := noKnobs.Validate(); err == nil {
+		t.Error("params accepted by a workload with no knobs")
+	}
+}
+
+// TestParamsShapeTrialValues: overriding a knob must change trial
+// values, and the same params must reproduce them exactly — params are
+// part of the spec's identity.
+func TestParamsShapeTrialValues(t *testing.T) {
+	run := func(params map[string]float64) float64 {
+		spec := Spec{
+			Custom: &CustomSweep{
+				Workload: "leastsq/cg", Rates: []float64{0.02}, Params: params,
+			},
+			Trials: 2,
+			Seed:   5,
+		}
+		camp, err := Compile(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u := camp.Plan.Units[0]
+		return u.Fn(u.Sweep.Rates[0], u.Sweep.TrialSeed(0, 0))
+	}
+	def := run(nil)
+	same := run(map[string]float64{"budget": 10, "restart": 0}) // the declared defaults
+	if def != same {
+		t.Errorf("explicit defaults differ from implicit: %v vs %v", def, same)
+	}
+	tiny := run(map[string]float64{"budget": 1})
+	if tiny == def {
+		t.Error("budget knob had no effect on the trial value")
+	}
+	if again := run(map[string]float64{"budget": 1}); again != tiny {
+		t.Errorf("same params not reproducible: %v vs %v", again, tiny)
+	}
+}
+
+// TestParamsResumeIdentity: params changes break resume compatibility —
+// they change the grid's values.
+func TestParamsResumeIdentity(t *testing.T) {
+	a := Spec{Custom: &CustomSweep{Workload: "lp/apsp", Rates: []float64{0.01}}, Seed: 1}
+	b := Spec{Custom: &CustomSweep{Workload: "lp/apsp", Rates: []float64{0.01},
+		Params: map[string]float64{"mu": 16}}, Seed: 1}
+	if ResumeCompatible(a, b) {
+		t.Error("specs with different params must not be resume-compatible")
+	}
+	c := Spec{Custom: &CustomSweep{Workload: "lp/apsp", Rates: []float64{0.01},
+		Params: map[string]float64{"mu": 16}}, Seed: 1, Workers: 7, Name: "x"}
+	if !ResumeCompatible(b, c) {
+		t.Error("workers/name must not affect resume identity")
+	}
+}

@@ -635,13 +635,9 @@ func matchingInstances(seed uint64, k int) []*matching.Instance {
 	return insts
 }
 
-// capErr clips error metrics so means/medians stay plottable.
-func capErr(v float64) float64 {
-	if v != v || v > 1e6 {
-		return 1e6
-	}
-	return v
-}
+// capErr clips error metrics so means/medians stay plottable (shared
+// convention: harness.CapErr).
+func capErr(v float64) float64 { return harness.CapErr(v) }
 
 func b2f(b bool) float64 {
 	if b {

@@ -10,6 +10,7 @@ package harness
 
 import (
 	"context"
+	"encoding/csv"
 	"fmt"
 	"io"
 	"math"
@@ -20,10 +21,13 @@ import (
 )
 
 // Point is one measured cell: a fault rate (faults per FLOP) and the
-// aggregated metric value.
+// aggregated metric value. RateIdx is the cell's position in its sweep
+// grid; it is what keeps two cells sharing a rate value (before/after
+// ablation pairs) distinct when tables align rows mid-run.
 type Point struct {
-	Rate  float64
-	Value float64
+	Rate    float64
+	RateIdx int
+	Value   float64
 }
 
 // Series is a named curve of points, one per fault rate.
@@ -203,9 +207,20 @@ feed:
 
 	points := make([]Point, len(s.Rates))
 	for r, rate := range s.Rates {
-		points[r] = Point{Rate: rate, Value: agg(results[r])}
+		points[r] = Point{Rate: rate, RateIdx: r, Value: agg(results[r])}
 	}
 	return points, nil
+}
+
+// CapErr clamps error metrics so one diverged trial cannot swamp a mean
+// or push a table off the plottable range: NaN and huge values saturate
+// at 1e6. Figure builders and workload trial functions share this
+// convention, so figures and campaign objectives never drift apart.
+func CapErr(v float64) float64 {
+	if v != v || v > 1e6 {
+		return 1e6
+	}
+	return v
 }
 
 // Mean is the default cell aggregator.
@@ -255,11 +270,11 @@ func (t *Table) Render(w io.Writer) error {
 		header = append(header, s.Name)
 	}
 	rows := [][]string{header}
-	xs := t.xValues()
+	xs := t.xCells()
 	next := make([]int, len(t.Series))
 	for i := range xs {
 		row := make([]string, 0, len(header))
-		row = append(row, formatRate(xs[i]))
+		row = append(row, formatRate(xs[i].rate))
 		for si, s := range t.Series {
 			if v, ok := seriesCell(s, next, si, xs[i]); ok {
 				row = append(row, formatValue(v))
@@ -295,19 +310,24 @@ func (t *Table) Render(w io.Writer) error {
 	return err
 }
 
-// CSV writes the table as comma-separated values with a header row.
+// CSV writes the table as comma-separated values with a header row. Rows
+// go through encoding/csv, so series names containing quotes or newlines
+// come out properly quoted instead of tearing the row; commas in names
+// are still replaced by ";" first (the historical, pinned behavior), so
+// benign names render byte-identically to earlier versions.
 func (t *Table) CSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
 	cols := []string{"rate"}
 	for _, s := range t.Series {
 		cols = append(cols, strings.ReplaceAll(s.Name, ",", ";"))
 	}
-	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+	if err := cw.Write(cols); err != nil {
 		return err
 	}
-	xs := t.xValues()
+	xs := t.xCells()
 	next := make([]int, len(t.Series))
 	for _, x := range xs {
-		row := []string{fmt.Sprintf("%g", x)}
+		row := []string{fmt.Sprintf("%g", x.rate)}
 		for si, s := range t.Series {
 			if v, ok := seriesCell(s, next, si, x); ok {
 				row = append(row, fmt.Sprintf("%g", v))
@@ -315,36 +335,48 @@ func (t *Table) CSV(w io.Writer) error {
 				row = append(row, "")
 			}
 		}
-		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+		if err := cw.Write(row); err != nil {
 			return err
 		}
 	}
-	return nil
+	cw.Flush()
+	return cw.Error()
 }
 
-// xValues returns the table's x axis: the order-preserving union of every
-// series' rate values. Each series' points are (a subsequence of) the
-// sweep grid in grid order, so merging keeps grid order, and a series
-// that is only partially complete still gets its values printed against
-// its own rates instead of being index-paired with another series' grid.
-func (t *Table) xValues() []float64 {
-	var xs []float64
+// xCell identifies one table row: a rate value plus its grid index. Two
+// cells are the same row only when both match — sharing a rate value is
+// not enough, duplicate-rate grids have distinct cells per index.
+// Hand-assembled tables that never set RateIdx (all zero) degrade to the
+// historical rate-value matching, since their indices compare equal.
+type xCell struct {
+	rate float64
+	idx  int
+}
+
+// xCells returns the table's x axis: the order-preserving union of every
+// series' cells. Each series' points are (a subsequence of) the sweep
+// grid in grid order, so merging keeps grid order, and a series that is
+// only partially complete still gets its values printed against its own
+// cells instead of being index-paired with another series' grid.
+func (t *Table) xCells() []xCell {
+	var xs []xCell
 	for _, s := range t.Series {
-		xs = mergeRates(xs, s.Points)
+		xs = mergeCells(xs, s.Points)
 	}
 	return xs
 }
 
-// mergeRates folds the points' rates into xs, preserving the relative
+// mergeCells folds the points' cells into xs, preserving the relative
 // order of both sequences (an order-preserving union of two subsequences
 // of a common grid).
-func mergeRates(xs []float64, pts []Point) []float64 {
-	out := make([]float64, 0, len(xs))
+func mergeCells(xs []xCell, pts []Point) []xCell {
+	out := make([]xCell, 0, len(xs))
 	i := 0
 	for _, p := range pts {
+		c := xCell{rate: p.Rate, idx: p.RateIdx}
 		at := -1
 		for k := i; k < len(xs); k++ {
-			if xs[k] == p.Rate {
+			if xs[k] == c {
 				at = k
 				break
 			}
@@ -353,21 +385,19 @@ func mergeRates(xs []float64, pts []Point) []float64 {
 			out = append(out, xs[i:at+1]...)
 			i = at + 1
 		} else {
-			out = append(out, p.Rate)
+			out = append(out, c)
 		}
 	}
 	return append(out, xs[i:]...)
 }
 
-// seriesCell returns s's value for the row at rate x, advancing the
-// series' cursor next[si] past consumed points. Walking a cursor instead
-// of searching keeps duplicate rates (distinct cells sharing an x value)
-// attached to their own rows when every earlier duplicate is present.
-// Known limit: Point carries no rate index, so mid-run, a series holding
-// only the LATER of two equal-rate cells prints it on the first matching
-// row; the table is correct once the earlier cell completes.
-func seriesCell(s Series, next []int, si int, x float64) (float64, bool) {
-	if n := next[si]; n < len(s.Points) && s.Points[n].Rate == x {
+// seriesCell returns s's value for the row at cell x, advancing the
+// series' cursor next[si] past consumed points. Points match rows by
+// cell identity (rate value and rate index), so a mid-run series holding
+// only the later of two equal-rate cells prints it on its own row, not
+// the first row whose rate value happens to match.
+func seriesCell(s Series, next []int, si int, x xCell) (float64, bool) {
+	if n := next[si]; n < len(s.Points) && s.Points[n].Rate == x.rate && s.Points[n].RateIdx == x.idx {
 		next[si] = n + 1
 		return s.Points[n].Value, true
 	}

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"bytes"
+	"encoding/csv"
 	"math"
 	"strings"
 	"sync"
@@ -222,6 +223,80 @@ func TestTableAlignsSparseLeadingGap(t *testing.T) {
 	want := "rate,full,tail\n1,1,\n2,2,\n4,3,99\n"
 	if buf.String() != want {
 		t.Errorf("leading-gap alignment:\n--- want ---\n%s--- got ---\n%s", want, buf.String())
+	}
+}
+
+// TestTableMidRunDuplicateRateAlignsByCell pins the cell-identity fix: a
+// mid-run series holding only the LATER of two equal-rate cells must
+// print it on the later row (matched by RateIdx), not on the first row
+// whose rate value happens to match.
+func TestTableMidRunDuplicateRateAlignsByCell(t *testing.T) {
+	tab := &Table{
+		Series: []Series{
+			{Name: "A", Points: []Point{
+				{Rate: 0.1, RateIdx: 0, Value: 1},
+				{Rate: 0.1, RateIdx: 1, Value: 2},
+			}},
+			// B's first cell has not completed yet; only the second
+			// duplicate-rate cell holds a value.
+			{Name: "B", Points: []Point{
+				{Rate: 0.1, RateIdx: 1, Value: 9},
+			}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := tab.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "rate,A,B\n0.1,1,\n0.1,2,9\n"
+	if buf.String() != want {
+		t.Errorf("mid-run duplicate-rate cell misaligned:\n--- want ---\n%s--- got ---\n%s", want, buf.String())
+	}
+
+	buf.Reset()
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	// Header + two data rows; B's value must sit on the second data row.
+	if len(lines) < 3 {
+		t.Fatalf("render rows: %q", lines)
+	}
+	if f := strings.Fields(lines[1]); len(f) != 3 || f[2] != "-" {
+		t.Errorf("render first duplicate-rate row = %q, want B empty", lines[1])
+	}
+	if f := strings.Fields(lines[2]); len(f) != 3 || f[2] != "9" {
+		t.Errorf("render second duplicate-rate row = %q, want B=9", lines[2])
+	}
+}
+
+// TestTableCSVQuotedNames: series names containing quotes or newlines
+// must come out as valid, properly quoted CSV instead of tearing the
+// header row.
+func TestTableCSVQuotedNames(t *testing.T) {
+	tab := &Table{
+		Series: []Series{
+			{Name: "say \"hi\"", Points: []Point{{Rate: 1, Value: 2}}},
+			{Name: "two\nlines", Points: []Point{{Rate: 1, Value: 3}}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := tab.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r := csv.NewReader(&buf)
+	rows, err := r.ReadAll()
+	if err != nil {
+		t.Fatalf("output is not valid CSV: %v", err)
+	}
+	if len(rows) != 2 || len(rows[0]) != 3 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if rows[0][1] != "say \"hi\"" || rows[0][2] != "two\nlines" {
+		t.Errorf("header round-trip = %q", rows[0])
+	}
+	if rows[1][1] != "2" || rows[1][2] != "3" {
+		t.Errorf("data row = %q", rows[1])
 	}
 }
 

@@ -1,0 +1,842 @@
+package tune
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"time"
+
+	"robustify/internal/campaign"
+)
+
+// traceFile is the durable search state of one tune run, written
+// atomically (temp + rename) inside the run's directory under the tune
+// root.
+const traceFile = "tune.json"
+
+// StateCancelled marks a run the operator stopped deliberately: it is
+// resumable on request but skipped by autoresume.
+const StateCancelled = "cancelled"
+
+// resumable reports whether Resume may reschedule a run in this state.
+func resumable(state string) bool {
+	return state == StateFailed || state == StateInterrupted || state == StateCancelled
+}
+
+// Manager schedules tune runs. Every run drives its search on its own
+// goroutine, evaluating candidates as campaigns submitted through the
+// wrapped campaign.Manager — which is what makes each evaluation
+// durable, resumable, and (when a dispatcher is attached) distributed.
+// Run state persists to <root>/<id>/tune.json; a new manager over the
+// same root recovers every prior run, classifying ownerless running
+// traces as interrupted, exactly like the campaign registry.
+type Manager struct {
+	root string
+	cm   *campaign.Manager
+
+	mu     sync.Mutex
+	byID   map[string]*run
+	order  []string
+	nextID int
+	closed bool
+}
+
+type run struct {
+	id   string
+	dir  string
+	spec Spec
+	w    campaign.Workload
+
+	mu         sync.Mutex
+	trace      *Trace
+	cancel     context.CancelFunc
+	done       chan struct{}
+	userCancel bool
+	// adoptAt is the evaluation ordinal at which this drive attempt
+	// started: the only ordinal whose campaign may already exist without
+	// a trace entry (the previous daemon died between submitting it and
+	// persisting the trace), and therefore the only submission that pays
+	// the adoption scan.
+	adoptAt int
+}
+
+// Status is the externally visible state of one tune run.
+type Status struct {
+	ID    string `json:"id"`
+	Name  string `json:"name"`
+	State string `json:"state"`
+	Error string `json:"error,omitempty"`
+	Spec  Spec   `json:"spec"`
+	// EvalsSubmitted and EvalsCompleted count candidate evaluations; the
+	// search's total is not known up front (rounds can end early).
+	EvalsSubmitted int `json:"evals_submitted"`
+	EvalsCompleted int `json:"evals_completed"`
+	// Best is the best-so-far trajectory; Final the winning
+	// configuration once done.
+	Best           []BestStep         `json:"best,omitempty"`
+	Final          map[string]float64 `json:"final,omitempty"`
+	FinalObjective *float64           `json:"final_objective,omitempty"`
+	// Evals is the per-candidate table (detailed status only).
+	Evals []Eval `json:"evals,omitempty"`
+}
+
+// NewManager creates a tune manager storing run traces under root and
+// recovers every run a previous daemon left there. It does not take its
+// own lock: the campaign manager's data-root flock already serializes
+// daemon ownership, and the tune root is expected to live inside it.
+func NewManager(root string, cm *campaign.Manager) (*Manager, error) {
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, fmt.Errorf("tune: root: %w", err)
+	}
+	m := &Manager{root: root, cm: cm, byID: make(map[string]*run)}
+	if err := m.recoverAll(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// recoverAll rebuilds the registry from the tune root. Unloadable
+// directories are logged and skipped; their names still advance the id
+// counter.
+func (m *Manager) recoverAll() error {
+	entries, err := os.ReadDir(m.root)
+	if err != nil {
+		return fmt.Errorf("tune: scan root: %w", err)
+	}
+	for _, e := range entries { // sorted by name: ids stay ordered
+		if !e.IsDir() {
+			continue
+		}
+		advance := func() {
+			if n, ok := runID(e.Name()); ok && n > m.nextID {
+				m.nextID = n
+			}
+		}
+		dir := filepath.Join(m.root, e.Name())
+		tr, err := readTrace(dir)
+		if err != nil {
+			log.Printf("tune: skipping unrecoverable %s: %v", dir, err)
+			advance()
+			continue
+		}
+		if tr == nil {
+			// No trace. A reclaimable husk of a Submit a crash cut short
+			// — provably our own leftover: manager-named (tNNNN) and
+			// holding nothing beyond a torn trace temp file — is deleted
+			// so it cannot end up stranded below later ids. Anything
+			// else, an operator's dir under the tune root included, is
+			// not ours to touch; manager-named stray data additionally
+			// keeps its id reserved.
+			if _, ours := runID(e.Name()); ours && reusableRunDir(dir) {
+				if err := os.RemoveAll(dir); err != nil {
+					log.Printf("tune: remove crash husk %s: %v", dir, err)
+					advance()
+				}
+			} else {
+				advance()
+			}
+			continue
+		}
+		advance()
+		if err := tr.Spec.Validate(); err != nil {
+			log.Printf("tune: skipping %s: %v", dir, err)
+			continue
+		}
+		w, _ := WorkloadFor(&tr.Spec)
+		if tr.State == StateRunning || tr.State == "" {
+			// The process that owned this search is gone.
+			tr.State = StateInterrupted
+			if err := writeTrace(dir, tr); err != nil {
+				log.Printf("tune: %s: persist recovered state: %v", e.Name(), err)
+			}
+		}
+		done := make(chan struct{})
+		close(done) // no goroutine owns a recovered run until Resume
+		r := &run{
+			id: e.Name(), dir: dir, spec: tr.Spec, w: w,
+			trace: tr, cancel: func() {}, done: done,
+		}
+		m.byID[r.id] = r
+		m.order = append(m.order, r.id)
+	}
+	return nil
+}
+
+// reusableRunDir reports whether dir is the husk of a Submit a crash
+// cut short: no tune.json, and nothing inside beyond the torn temp file
+// an interrupted trace write leaves. Anything else — foreign files, an
+// operator's scratch data — is somebody's data and keeps its id
+// reserved, mirroring the campaign layer's reusableDir caution.
+func reusableRunDir(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if e.Name() != traceFile+".tmp" {
+			return false
+		}
+	}
+	return true
+}
+
+// runID parses a manager-allocated directory name ("t0042" -> 42).
+func runID(name string) (int, bool) {
+	if len(name) < 2 || name[0] != 't' {
+		return 0, false
+	}
+	n, err := strconv.Atoi(name[1:])
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// Submit validates the spec, allocates a run directory, persists the
+// initial trace, and starts the search. It returns the run id
+// immediately; the search proceeds in the background.
+func (m *Manager) Submit(spec Spec) (string, error) {
+	if err := spec.Validate(); err != nil {
+		return "", err
+	}
+	w, err := WorkloadFor(&spec)
+	if err != nil {
+		return "", err
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return "", fmt.Errorf("tune: manager closed")
+	}
+	// Husk directories a crash cut out of a previous Submit — no trace,
+	// no contents beyond a torn temp file — are reclaimed, keeping id
+	// allocation deterministic across kill-and-resume runs.
+	var id string
+	for {
+		m.nextID++
+		id = fmt.Sprintf("t%04d", m.nextID)
+		dir := filepath.Join(m.root, id)
+		if _, err := os.Stat(dir); os.IsNotExist(err) || reusableRunDir(dir) {
+			break
+		}
+	}
+	m.mu.Unlock()
+
+	dir := filepath.Join(m.root, id)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	tr := &Trace{ID: id, State: StateRunning, Spec: spec}
+	if err := writeTrace(dir, tr); err != nil {
+		os.RemoveAll(dir)
+		return "", err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	r := &run{
+		id: id, dir: dir, spec: spec, w: w,
+		trace: tr, cancel: cancel, done: make(chan struct{}),
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		cancel()
+		os.RemoveAll(dir)
+		return "", fmt.Errorf("tune: manager closed")
+	}
+	m.byID[id] = r
+	m.order = append(m.order, id)
+	go m.drive(ctx, r, r.done)
+	m.mu.Unlock()
+	return id, nil
+}
+
+// Resume reschedules a failed, interrupted, or cancelled run. The trace
+// already records every submitted evaluation, so only the remainder of
+// the search executes; the final trace is byte-identical to an
+// uninterrupted run.
+func (m *Manager) Resume(id string) error {
+	r, err := m.runByID(id)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	state, done := r.trace.State, r.done
+	r.mu.Unlock()
+	if !resumable(state) {
+		return fmt.Errorf("tune: %s is %s; only failed, interrupted, or cancelled runs resume", id, state)
+	}
+	<-done // the previous drive goroutine has fully exited
+
+	ctx, cancel := context.WithCancel(context.Background())
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		cancel()
+		return fmt.Errorf("tune: manager closed")
+	}
+	r.mu.Lock()
+	if !resumable(r.trace.State) { // lost a race with another Resume
+		r.mu.Unlock()
+		cancel()
+		return fmt.Errorf("tune: %s already resumed", id)
+	}
+	r.trace.State = StateRunning
+	r.trace.Error = ""
+	r.userCancel = false
+	r.cancel = cancel
+	r.done = make(chan struct{})
+	done = r.done
+	r.persistLocked()
+	r.mu.Unlock()
+	go m.drive(ctx, r, done)
+	return nil
+}
+
+// ResumeInterrupted reschedules every interrupted run (the -autoresume
+// startup path) and returns the ids it resumed.
+func (m *Manager) ResumeInterrupted() []string {
+	var ids []string
+	for _, s := range m.List() {
+		if s.State != StateInterrupted {
+			continue
+		}
+		if err := m.Resume(s.ID); err != nil {
+			log.Printf("tune: autoresume %s: %v", s.ID, err)
+			continue
+		}
+		ids = append(ids, s.ID)
+	}
+	return ids
+}
+
+// Cancel stops a running search — including the evaluation campaigns
+// currently executing underneath it, so "cancelling" does not quietly
+// run the rest of the rung. Completed trials stay durable and Resume
+// continues from them; autoresume leaves cancelled runs alone.
+func (m *Manager) Cancel(id string) error {
+	r, err := m.runByID(id)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	interrupted := r.trace.State == StateInterrupted
+	if interrupted {
+		r.trace.State = StateCancelled
+		r.persistLocked()
+	} else {
+		r.userCancel = true
+	}
+	cancel := r.cancel
+	var pending []string
+	for _, e := range r.trace.Evals {
+		if e.Objective == nil {
+			pending = append(pending, e.Campaign)
+		}
+	}
+	r.mu.Unlock()
+	if !interrupted {
+		cancel()
+	}
+	// Sweep the pending evaluations in every branch: an interrupted
+	// run's orphaned evaluation campaigns would otherwise be resurrected
+	// by campaign-level -autoresume on the next boot, burning compute
+	// for a search the operator cancelled.
+	for _, cid := range pending {
+		if err := m.cm.Cancel(cid); err != nil {
+			log.Printf("tune: cancel evaluation %s: %v", cid, err)
+		}
+	}
+	return nil
+}
+
+// Wait blocks until the run's current drive goroutine exits.
+func (m *Manager) Wait(id string) error {
+	r, err := m.runByID(id)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	done := r.done
+	r.mu.Unlock()
+	<-done
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.trace.Error != "" {
+		return fmt.Errorf("tune: %s: %s", id, r.trace.Error)
+	}
+	return nil
+}
+
+// List returns every run's status in submission order.
+func (m *Manager) List() []Status {
+	m.mu.Lock()
+	ids := append([]string(nil), m.order...)
+	m.mu.Unlock()
+	out := make([]Status, 0, len(ids))
+	for _, id := range ids {
+		if r, err := m.runByID(id); err == nil {
+			out = append(out, r.status(false))
+		}
+	}
+	return out
+}
+
+// Get returns one run's status with the per-candidate table.
+func (m *Manager) Get(id string) (Status, error) {
+	r, err := m.runByID(id)
+	if err != nil {
+		return Status{}, err
+	}
+	return r.status(true), nil
+}
+
+// Trace returns a deep copy of the run's current trace.
+func (m *Manager) Trace(id string) (*Trace, error) {
+	r, err := m.runByID(id)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.trace.clone(), nil
+}
+
+// Interrupt marks the manager closed and cancels every live search
+// without waiting — the first half of daemon shutdown, so no new
+// evaluation campaigns are submitted while the campaign manager winds
+// down. Idempotent.
+func (m *Manager) Interrupt() {
+	m.mu.Lock()
+	m.closed = true
+	runs := make([]*run, 0, len(m.byID))
+	for _, r := range m.byID {
+		runs = append(runs, r)
+	}
+	m.mu.Unlock()
+	for _, r := range runs {
+		r.mu.Lock()
+		cancel := r.cancel
+		r.mu.Unlock()
+		cancel()
+	}
+}
+
+// Close cancels every run and waits (indefinitely) for the drive
+// goroutines to exit; in-flight searches persist as interrupted so a
+// successor daemon's autoresume finishes them.
+func (m *Manager) Close() { m.Shutdown(0) }
+
+// Shutdown is Close with a bounded deadline (0 = forever). It returns
+// false when drive goroutines were still alive at the deadline — e.g. a
+// wedged evaluation campaign the campaign manager's own shutdown gave
+// up on. Their traces still say running, which the next boot classifies
+// as interrupted, exactly like a crash.
+func (m *Manager) Shutdown(timeout time.Duration) bool {
+	m.Interrupt()
+	m.mu.Lock()
+	runs := make([]*run, 0, len(m.byID))
+	for _, r := range m.byID {
+		runs = append(runs, r)
+	}
+	m.mu.Unlock()
+	var deadline <-chan time.Time
+	if timeout > 0 {
+		tmr := time.NewTimer(timeout)
+		defer tmr.Stop()
+		deadline = tmr.C
+	}
+	clean := true
+	timedOut := false
+	for _, r := range runs {
+		r.mu.Lock()
+		done := r.done
+		r.mu.Unlock()
+		if !timedOut {
+			select {
+			case <-done:
+				continue
+			case <-deadline:
+				timedOut = true
+			}
+		}
+		// The deadline fired once; poll the remaining runs without
+		// blocking so already-finished ones still count as clean.
+		select {
+		case <-done:
+		default:
+			clean = false
+		}
+	}
+	return clean
+}
+
+func (m *Manager) runByID(id string) (*run, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r, ok := m.byID[id]
+	if !ok {
+		return nil, fmt.Errorf("tune: unknown run %q", id)
+	}
+	return r, nil
+}
+
+// drive owns one search attempt from (re)start to a terminal state.
+func (m *Manager) drive(ctx context.Context, r *run, done chan struct{}) {
+	defer close(done)
+	best, obj, err := r.search(ctx, m.cm)
+	var cancelEvals []string
+	r.mu.Lock()
+	switch {
+	case err == nil:
+		r.trace.State = StateDone
+		r.trace.Final = best
+		r.trace.FinalObjective = &obj
+	case ctx.Err() != nil:
+		if r.userCancel {
+			r.trace.State = StateCancelled
+			// Sweep the pending evaluations once more now that no further
+			// submission can happen: an evaluation submitted between
+			// Cancel's own sweep and the context check would otherwise
+			// keep running after the search is gone.
+			for _, e := range r.trace.Evals {
+				if e.Objective == nil {
+					cancelEvals = append(cancelEvals, e.Campaign)
+				}
+			}
+		} else {
+			r.trace.State = StateInterrupted
+		}
+	default:
+		r.trace.State = StateFailed
+		r.trace.Error = err.Error()
+	}
+	r.persistLocked()
+	r.mu.Unlock()
+	for _, cid := range cancelEvals {
+		if err := m.cm.Cancel(cid); err != nil {
+			log.Printf("tune: cancel evaluation %s: %v", cid, err)
+		}
+	}
+}
+
+// search replays the deterministic search against the trace: already
+// completed evaluations are served from it, evaluations submitted
+// before a crash are adopted (their campaigns re-attached by name) and
+// finished, and only genuinely new candidates submit new campaigns.
+func (r *run) search(ctx context.Context, cm *campaign.Manager) (map[string]float64, float64, error) {
+	r.mu.Lock()
+	cache := make(map[string]*Eval, len(r.trace.Evals))
+	for _, e := range r.trace.Evals {
+		cache[paramsKey(e.Params, e.Trials)] = e
+	}
+	r.adoptAt = len(r.trace.Evals)
+	r.mu.Unlock()
+
+	batch := func(configs []map[string]float64, trials int) ([]float64, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		// Submission pass, in candidate order: ordinals, seeds, and
+		// campaign names are fixed by this order alone. The context is
+		// re-checked per candidate so a cancelled search stops submitting
+		// mid-rung instead of launching the rest of it.
+		entries := make([]*Eval, len(configs))
+		for i, cfg := range configs {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			k := paramsKey(cfg, trials)
+			if e, ok := cache[k]; ok {
+				entries[i] = e
+				continue
+			}
+			e, err := r.submitEval(cm, cfg, trials)
+			if err != nil {
+				return nil, err
+			}
+			cache[k] = e
+			entries[i] = e
+		}
+		// Completion pass, also in candidate order, so the best-so-far
+		// trajectory appends deterministically.
+		out := make([]float64, len(configs))
+		for i, e := range entries {
+			if e.Objective != nil {
+				out[i] = *e.Objective
+				continue
+			}
+			if err := waitCampaign(ctx, cm, e.Campaign); err != nil {
+				return nil, err
+			}
+			table, err := cm.Table(e.Campaign)
+			if err != nil {
+				return nil, err
+			}
+			obj := objective(table, r.w.Maximize)
+			r.completeEval(e, obj)
+			out[i] = obj
+		}
+		return out, nil
+	}
+	return searchLoop(&r.spec, r.w, batch)
+}
+
+// submitEval creates (or adopts) the campaign backing one evaluation
+// and appends it to the trace. If a campaign with the evaluation's
+// deterministic name already exists — the previous daemon died between
+// submitting it and persisting the trace — it is adopted instead of
+// resubmitted, keeping campaign ids aligned with an uninterrupted run.
+func (r *run) submitEval(cm *campaign.Manager, cfg map[string]float64, trials int) (*Eval, error) {
+	r.mu.Lock()
+	n := len(r.trace.Evals)
+	adopt := n == r.adoptAt
+	r.mu.Unlock()
+	e := &Eval{
+		N:      n,
+		Params: cloneParams(cfg),
+		Trials: trials,
+		Seed:   EvalSeed(r.spec.Seed, n),
+	}
+	name := fmt.Sprintf("%s/e%04d", r.id, n)
+	cspec := campaign.Spec{
+		Name: name,
+		Custom: &campaign.CustomSweep{
+			Workload: r.spec.Workload,
+			Rates:    append([]float64(nil), r.spec.Rates...),
+			Iters:    r.spec.Iters,
+			Agg:      r.spec.Agg,
+			Params:   cloneParams(cfg),
+		},
+		Trials:  trials,
+		Seed:    e.Seed,
+		Workers: r.spec.Workers,
+	}
+	adopted := false
+	if adopt {
+		// Only the first submission of a drive attempt can collide with a
+		// campaign the previous daemon created but never recorded; later
+		// ordinals were created by this attempt, so skipping the
+		// O(history) scan for them keeps evaluations cheap.
+		if st, ok := campaignByName(cm, name); ok {
+			if !campaign.ResumeCompatible(st.Spec, cspec) {
+				return nil, fmt.Errorf("tune: campaign %s (%s) exists with an incompatible spec", st.ID, name)
+			}
+			e.Campaign = st.ID
+			adopted = true
+		}
+	}
+	if !adopted {
+		id, err := cm.Submit(cspec)
+		if err != nil {
+			return nil, err
+		}
+		e.Campaign = id
+	}
+	r.mu.Lock()
+	r.trace.Evals = append(r.trace.Evals, e)
+	r.persistLocked()
+	r.mu.Unlock()
+	return e, nil
+}
+
+// completeEval records an evaluation's objective and extends the
+// best-so-far trajectory.
+func (r *run) completeEval(e *Eval, obj float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	o := obj
+	e.Objective = &o
+	improved := len(r.trace.Best) == 0
+	if !improved {
+		last := r.trace.Best[len(r.trace.Best)-1].Objective
+		if r.w.Maximize {
+			improved = obj > last
+		} else {
+			improved = obj < last
+		}
+	}
+	if improved {
+		r.trace.Best = append(r.trace.Best, BestStep{
+			Eval: e.N, Params: cloneParams(e.Params), Objective: obj,
+		})
+	}
+	r.persistLocked()
+}
+
+// waitCampaign blocks until the evaluation's campaign completes. A
+// campaign that lands in any resumable state while the search is still
+// alive — failed on a transient error, cancelled by an operator, or
+// interrupted in a shutdown race — is resumed a bounded number of times
+// before giving up. Retrying failed campaigns matters beyond
+// transients: a tune run that went StateFailed because one evaluation
+// failed would otherwise be unresumable in practice, replaying straight
+// into the campaign's persisted error (which survives daemon restarts
+// via meta.json) without re-executing anything.
+func waitCampaign(ctx context.Context, cm *campaign.Manager, id string) error {
+	for attempt := 0; ; attempt++ {
+		// cm.Wait's error is the campaign's persisted failure; state
+		// decides what to do with it, so it is not a return on its own.
+		// The wait itself must not outlive the search: a cancelled tune
+		// run returns here immediately instead of sitting out the rest of
+		// the rung. (The spawned goroutine lingers until the campaign
+		// reaches a terminal state — bounded, since cancellation paths
+		// also cancel the campaigns underneath.)
+		waited := make(chan struct{})
+		go func() {
+			_ = cm.Wait(id)
+			close(waited)
+		}()
+		select {
+		case <-waited:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		st, err := cm.Get(id)
+		if err != nil {
+			return err
+		}
+		if st.State == campaign.StateDone {
+			return nil
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if attempt >= 5 {
+			if st.State == campaign.StateFailed {
+				return fmt.Errorf("tune: evaluation campaign %s failed: %s", id, st.Error)
+			}
+			return fmt.Errorf("tune: evaluation campaign %s stuck in state %s", id, st.State)
+		}
+		if err := cm.Resume(id); err != nil {
+			// A concurrent autoresume may have beaten us; just wait again.
+			log.Printf("tune: resume evaluation %s: %v", id, err)
+		}
+	}
+}
+
+// campaignByName finds a campaign by its (deterministic) display name.
+func campaignByName(cm *campaign.Manager, name string) (campaign.Status, bool) {
+	for _, st := range cm.List() {
+		if st.Name == name {
+			return st, true
+		}
+	}
+	return campaign.Status{}, false
+}
+
+func (r *run) status(withEvals bool) Status {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	tr := r.trace
+	s := Status{
+		ID:             r.id,
+		Name:           r.spec.Title(),
+		State:          tr.State,
+		Error:          tr.Error,
+		Spec:           r.spec,
+		EvalsSubmitted: len(tr.Evals),
+		Best:           append([]BestStep(nil), tr.Best...),
+		Final:          cloneParams(tr.Final),
+		FinalObjective: tr.FinalObjective,
+	}
+	if len(tr.Final) == 0 {
+		s.Final = nil
+	}
+	for _, e := range tr.Evals {
+		if e.Objective != nil {
+			s.EvalsCompleted++
+		}
+		if withEvals {
+			c := *e
+			c.Params = cloneParams(e.Params)
+			if e.Objective != nil {
+				o := *e.Objective
+				c.Objective = &o
+			}
+			s.Evals = append(s.Evals, c)
+		}
+	}
+	return s
+}
+
+// persistLocked writes the trace; r.mu must be held. A failed write only
+// costs resume fidelity, so it is logged, not fatal.
+func (r *run) persistLocked() {
+	if err := writeTrace(r.dir, r.trace); err != nil {
+		log.Printf("tune: %s: persist trace: %v", r.id, err)
+	}
+}
+
+func (t *Trace) clone() *Trace {
+	c := *t
+	c.Evals = make([]*Eval, len(t.Evals))
+	for i, e := range t.Evals {
+		ce := *e
+		ce.Params = cloneParams(e.Params)
+		if e.Objective != nil {
+			o := *e.Objective
+			ce.Objective = &o
+		}
+		c.Evals[i] = &ce
+	}
+	c.Best = append([]BestStep(nil), t.Best...)
+	if t.Final != nil {
+		c.Final = cloneParams(t.Final)
+	}
+	if t.FinalObjective != nil {
+		o := *t.FinalObjective
+		c.FinalObjective = &o
+	}
+	return &c
+}
+
+// writeTrace atomically replaces dir's tune.json.
+func writeTrace(dir string, t *Trace) error {
+	b, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, traceFile+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("tune: write trace: %w", err)
+	}
+	_, werr := f.Write(append(b, '\n'))
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("tune: write trace: %w", werr)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, traceFile)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("tune: replace trace: %w", err)
+	}
+	return nil
+}
+
+// readTrace loads dir's tune.json; a nil trace with nil error means the
+// directory holds no trace (not a tune run).
+func readTrace(dir string) (*Trace, error) {
+	b, err := os.ReadFile(filepath.Join(dir, traceFile))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var t Trace
+	if err := json.Unmarshal(b, &t); err != nil {
+		return nil, fmt.Errorf("tune: corrupt %s: %w", traceFile, err)
+	}
+	return &t, nil
+}

@@ -1,0 +1,134 @@
+package tune
+
+import (
+	"math"
+	"sort"
+
+	"robustify/internal/campaign"
+	"robustify/internal/harness"
+)
+
+// worst is the saturating objective for configurations whose campaign
+// produced no usable table (all metrics in the repo are capped well
+// below it). It keeps every stored objective finite and JSON-encodable.
+const worst = 1e30
+
+// evalBatchFunc evaluates one successive-halving rung: every candidate
+// configuration at the given trial budget, returning objectives in
+// candidate order. Implementations run each candidate as a durable
+// campaign and may serve repeats from a cache; they must be
+// deterministic in (configs, trials).
+type evalBatchFunc func(configs []map[string]float64, trials int) ([]float64, error)
+
+// searchLoop is the deterministic driver: coordinate descent over the
+// searched knobs, each coordinate step a successive-halving race over
+// the knob's declared grid. It returns the winning configuration and
+// its objective at the final (largest) budget it was evaluated under.
+//
+// Determinism: candidates are always issued in grid order, survivors
+// are re-sorted into grid order between rungs, and ties rank by grid
+// order (stable sort), so the sequence of evaluation requests — and
+// therefore ordinals, seeds, and the trace — is a pure function of the
+// spec.
+func searchLoop(spec *Spec, w campaign.Workload, batch evalBatchFunc) (map[string]float64, float64, error) {
+	better := func(a, b float64) bool {
+		if w.Maximize {
+			return a > b
+		}
+		return a < b
+	}
+	cur := w.DefaultParams()
+	finalObj := worst
+	if w.Maximize {
+		finalObj = -worst
+	}
+	for round := 0; round < spec.rounds(); round++ {
+		improved := false
+		for _, name := range spec.searchKnobs(w) {
+			k, _ := w.KnobByName(name)
+			winner, obj, err := halve(spec, k, cur, better, batch)
+			if err != nil {
+				return nil, 0, err
+			}
+			finalObj = obj
+			if winner != cur[name] {
+				cur[name] = winner
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return cur, finalObj, nil
+}
+
+// halve races knob k's grid values (with every other knob held at cur):
+// each rung evaluates the surviving candidates at the current trial
+// budget, keeps the better half, and doubles the budget, until a single
+// survivor remains — which then gets one confirming evaluation at the
+// doubled budget. Low-budget rungs cheaply discard hopeless values; the
+// winner's score comes from the largest budget.
+func halve(spec *Spec, k campaign.Knob, cur map[string]float64, better func(a, b float64) bool, batch evalBatchFunc) (float64, float64, error) {
+	// Survivors as grid indices, kept ascending so candidate order (and
+	// therefore evaluation order) is deterministic.
+	surv := make([]int, len(k.Grid))
+	for i := range surv {
+		surv[i] = i
+	}
+	trials := spec.rung0()
+	for {
+		configs := make([]map[string]float64, len(surv))
+		for i, gi := range surv {
+			cfg := cloneParams(cur)
+			cfg[k.Name] = k.Grid[gi]
+			configs[i] = cfg
+		}
+		scores, err := batch(configs, trials)
+		if err != nil {
+			return 0, 0, err
+		}
+		if len(surv) == 1 {
+			return k.Grid[surv[0]], scores[0], nil
+		}
+		// Rank survivors best-first; SliceStable keeps grid order on ties.
+		order := make([]int, len(surv))
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			return better(scores[order[a]], scores[order[b]])
+		})
+		keep := (len(surv) + 1) / 2
+		next := make([]int, keep)
+		for i := 0; i < keep; i++ {
+			next[i] = surv[order[i]]
+		}
+		sort.Ints(next)
+		surv = next
+		trials *= 2
+	}
+}
+
+// objective collapses one evaluation campaign's finished table to the
+// scalar the search ranks: the mean of the per-rate aggregated cells.
+// Non-finite tables (a cell that never produced a usable value)
+// saturate at the worst objective for the workload's direction.
+func objective(t *harness.Table, maximize bool) float64 {
+	bad := worst
+	if maximize {
+		bad = -worst
+	}
+	if len(t.Series) == 0 || len(t.Series[0].Points) == 0 {
+		return bad
+	}
+	var sum float64
+	for _, p := range t.Series[0].Points {
+		sum += p.Value
+	}
+	v := sum / float64(len(t.Series[0].Points))
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return bad
+	}
+	return v
+}
