@@ -1,0 +1,81 @@
+// Command robustlint runs the repo's custom static-analysis suite — the
+// determinism, durability, and FPU-mediation invariants generic tooling
+// cannot check. See internal/analysis for the analyzers and the
+// //lint:<directive> <reason> exemption convention.
+//
+// Usage:
+//
+//	go run ./cmd/robustlint ./...
+//	go run ./cmd/robustlint -only fpumediation,seededrand ./internal/...
+//
+// Exit status: 0 clean, 1 diagnostics found, 2 operational error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"robustify/internal/analysis"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: robustlint [-only a,b] [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	suite := analysis.All()
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-18s %s (exempt: //lint:%s <reason>)\n", a.Name, a.Doc, a.Directive)
+		}
+		return
+	}
+	if *only != "" {
+		byName := make(map[string]*analysis.Analyzer)
+		for _, a := range suite {
+			byName[a.Name] = a
+		}
+		suite = suite[:0]
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "robustlint: unknown analyzer %q (try -list)\n", name)
+				os.Exit(2)
+			}
+			suite = append(suite, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "robustlint:", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.Run(wd, suite, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "robustlint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		name := d.Pos.Filename
+		if rel, err := filepath.Rel(wd, name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = rel
+		}
+		fmt.Printf("%s:%d:%d: %s: %s\n", name, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "robustlint: %d diagnostic(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -13,3 +13,14 @@ func TestMatchingSmoke(t *testing.T) {
 		t.Fatalf("unexpected output:\n%s", buf.String())
 	}
 }
+
+// TestMatchingDeterministic pins the example's fixed seed: two runs must
+// be byte-identical.
+func TestMatchingDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	run(&a, true)
+	run(&b, true)
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("example output differs between runs:\n--- first\n%s\n--- second\n%s", a.String(), b.String())
+	}
+}

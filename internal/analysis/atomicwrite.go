@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"strings"
+)
+
+// AtomicWrite guards the crash-consistency of JSON artifacts under the
+// campaign/tune data roots. PR 3's recovery semantics assume every *.json
+// the daemon owns is replaced atomically (temp file + fsync + rename):
+// a direct os.WriteFile can be torn by a crash, and a torn spec.json or
+// meta.json turns a resumable campaign into an unloadable directory.
+// All such writes go through fsutil.WriteFileAtomic — the one blessed
+// helper, whose own package is out of scope by construction.
+//
+// Flagged, in the durable-state packages (internal/campaign, internal/
+// tune, internal/dispatch, internal/harness) and the cmd binaries: calls
+// to os.WriteFile, os.Create, or os.OpenFile whose path argument contains
+// a string constant ending in ".json". One-shot diagnostic or debug dumps
+// that genuinely need no atomicity are exempted with
+// //lint:atomicwrite-exempt <reason>.
+var AtomicWrite = &Analyzer{
+	Name:      "atomicwrite",
+	Directive: "atomicwrite-exempt",
+	Doc:       "*.json artifacts must be written via fsutil.WriteFileAtomic",
+	Run:       runAtomicWrite,
+}
+
+func inAtomicWriteScope(path string) bool {
+	switch path {
+	case "robustify/internal/campaign", "robustify/internal/tune",
+		"robustify/internal/dispatch", "robustify/internal/harness":
+		return true
+	}
+	return strings.HasPrefix(path, "robustify/cmd/")
+}
+
+func runAtomicWrite(pass *Pass) {
+	if !inAtomicWriteScope(pass.Path) {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkg, fn := pass.pkgFunc(call)
+			if pkg != "os" || (fn != "WriteFile" && fn != "Create" && fn != "OpenFile") {
+				return true
+			}
+			if len(call.Args) == 0 || !containsJSONLiteral(pass, call.Args[0]) {
+				return true
+			}
+			pass.Report(call.Pos(), "os.%s of a .json artifact can tear on crash; write it with fsutil.WriteFileAtomic (or //lint:atomicwrite-exempt <reason>)", fn)
+			return true
+		})
+	}
+}
+
+// containsJSONLiteral reports whether any subexpression of e is a string
+// constant ending in ".json" — catching both literal paths and
+// filepath.Join(dir, metaFile)-style constant filename arguments.
+func containsJSONLiteral(pass *Pass, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		expr, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.Info.Types[expr]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+			return true
+		}
+		if strings.HasSuffix(constant.StringVal(tv.Value), ".json") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

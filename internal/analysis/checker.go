@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"sort"
+)
+
+// All returns the robustlint analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		FPUMediation,
+		DetMapRange,
+		NoTimeInArtifacts,
+		AtomicWrite,
+		SeededRand,
+	}
+}
+
+// DirectiveHygieneName labels the framework's own diagnostics about
+// malformed //lint: comments. It is not an analyzer and cannot be
+// exempted: an exemption without a written reason defeats the audit
+// trail the directives exist to provide.
+const DirectiveHygieneName = "lintdirective"
+
+// Run loads the packages matching patterns under dir and applies every
+// analyzer to every package, returning the surviving (non-exempted)
+// diagnostics sorted by position. Directive hygiene — unknown //lint:
+// directives and directives with no reason — is always checked.
+func Run(dir string, analyzers []*Analyzer, patterns ...string) ([]Diagnostic, error) {
+	pkgs, err := Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		diags = append(diags, RunPackage(pkg, "", analyzers)...)
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+// RunPackage applies analyzers to one loaded package. pathAs, when
+// non-empty, overrides the package's import path for analyzer scoping —
+// the fixture runner uses it so testdata packages can impersonate the
+// real paths an analyzer audits.
+func RunPackage(pkg *Package, pathAs string, analyzers []*Analyzer) []Diagnostic {
+	path := pkg.Path
+	if pathAs != "" {
+		path = pathAs
+	}
+	known := make(map[string]bool)
+	for _, a := range All() { // all registered directives stay valid even under -only
+		if a.Directive != "" {
+			known[a.Directive] = true
+		}
+	}
+	exempt := buildExemptIndex(pkg.Fset, pkg.Files, known)
+
+	var diags []Diagnostic
+	collect := func(d Diagnostic) { diags = append(diags, d) }
+
+	diags = append(diags, checkDirectiveHygiene(pkg, known)...)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Path:     path,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Pkg,
+			Info:     pkg.Info,
+			exempt:   exempt,
+			collect:  collect,
+		}
+		a.Run(pass)
+	}
+	return diags
+}
+
+// checkDirectiveHygiene reports malformed //lint: comments: unknown
+// directive names (usually typos, which would silently exempt nothing)
+// and directives missing the mandatory reason.
+func checkDirectiveHygiene(pkg *Package, known map[string]bool) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		for _, d := range parseDirectives(f) {
+			switch {
+			case !known[d.name]:
+				diags = append(diags, Diagnostic{
+					Pos:      pkg.Fset.Position(d.pos),
+					Analyzer: DirectiveHygieneName,
+					Message:  "unknown //lint: directive " + d.name,
+				})
+			case d.reason == "":
+				diags = append(diags, Diagnostic{
+					Pos:      pkg.Fset.Position(d.pos),
+					Analyzer: DirectiveHygieneName,
+					Message:  "//lint:" + d.name + " needs a written reason",
+				})
+			}
+		}
+	}
+	return diags
+}
+
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

@@ -1,0 +1,189 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DetMapRange hunts the classic byte-identity killer: iterating a Go map
+// in its randomized order while doing something order-dependent with each
+// entry. The repo's durability story (resumable campaigns, distributed
+// shards, tune traces) rests on artifacts being byte-identical across
+// runs, and a single `for k := range knobs { fmt.Fprintf(w, ...) }`
+// silently breaks it on a schedule of its own choosing.
+//
+// Flagged inside `for ... := range m` over a map:
+//   - appends to a slice declared outside the loop, unless that slice is
+//     later passed to a sort call in the same function (the canonical
+//     collect-keys-then-sort idiom);
+//   - string concatenation into a variable declared outside the loop;
+//   - float accumulation (+=, -=, *=, /=) into a variable declared
+//     outside the loop — float addition is not associative, so map order
+//     changes the low bits even when the set of addends is identical;
+//   - writes to writers/encoders: fmt.Fprint*/Print*, and methods named
+//     Write*, Encode, or Append.
+//
+// Order-independent bodies (map→map transforms, counting, max/min with
+// exact compares) pass untouched. Genuinely order-free sinks are exempted
+// with //lint:detmap-exempt <reason>.
+var DetMapRange = &Analyzer{
+	Name:      "detmaprange",
+	Directive: "detmap-exempt",
+	Doc:       "map iteration must not feed order-dependent sinks without a sort",
+	Run:       runDetMapRange,
+}
+
+// orderDependentMethods are method names whose call order is observable in
+// the receiver's output.
+var orderDependentMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Encode": true, "Append": true, "Put": true,
+}
+
+// sortFuncs recognize the collect-then-sort idiom that launders map order
+// back into determinism.
+var sortFuncs = map[string]bool{
+	"sort.Strings": true, "sort.Ints": true, "sort.Float64s": true,
+	"sort.Slice": true, "sort.SliceStable": true, "sort.Sort": true, "sort.Stable": true,
+	"slices.Sort": true, "slices.SortFunc": true, "slices.SortStableFunc": true,
+}
+
+func runDetMapRange(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			runDetMapRangeFunc(pass, fn)
+		}
+	}
+}
+
+func runDetMapRangeFunc(pass *Pass, fn *ast.FuncDecl) {
+	sorted := sortedObjects(pass, fn)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if t := pass.typeOf(rng.X); t == nil {
+			return true
+		} else if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkMapRangeBody(pass, rng, sorted)
+		return true
+	})
+}
+
+// sortedObjects collects every object passed to a recognized sort call
+// anywhere in fn — an append inside a map range is fine when the slice is
+// sorted before use, wherever in the function that sort happens.
+func sortedObjects(pass *Pass, fn *ast.FuncDecl) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		pkg, name := pass.pkgFunc(call)
+		if pkg == "" || !sortFuncs[lastPathElem(pkg)+"."+name] {
+			return true
+		}
+		if id := rootIdent(call.Args[0]); id != nil {
+			if obj := pass.objectOf(id); obj != nil {
+				out[obj] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func lastPathElem(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}
+
+func checkMapRangeBody(pass *Pass, rng *ast.RangeStmt, sorted map[types.Object]bool) {
+	// declaredOutside reports whether id's definition precedes the range
+	// statement — per-iteration locals are order-irrelevant.
+	declaredOutside := func(id *ast.Ident) (types.Object, bool) {
+		obj := pass.objectOf(id)
+		if obj == nil {
+			// No object: a package-level or captured target; treat as
+			// outside.
+			return nil, true
+		}
+		return obj, obj.Pos() < rng.Pos() || obj.Pos() > rng.End()
+	}
+
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			checkMapRangeAssign(pass, v, sorted, declaredOutside)
+		case *ast.CallExpr:
+			if pkg, name := pass.pkgFunc(v); pkg == "fmt" &&
+				(name == "Fprint" || name == "Fprintf" || name == "Fprintln" ||
+					name == "Print" || name == "Printf" || name == "Println") {
+				pass.Report(v.Pos(), "fmt.%s inside map iteration emits entries in nondeterministic order (sort keys first, or //lint:detmap-exempt <reason>)", name)
+				return true
+			}
+			if sel, ok := v.Fun.(*ast.SelectorExpr); ok && orderDependentMethods[sel.Sel.Name] {
+				if pass.Info.Selections[sel] != nil { // a real method call, not pkg.Func
+					pass.Report(v.Pos(), "%s call inside map iteration is order-dependent (sort keys first, or //lint:detmap-exempt <reason>)", sel.Sel.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func checkMapRangeAssign(pass *Pass, as *ast.AssignStmt, sorted map[types.Object]bool, declaredOutside func(*ast.Ident) (types.Object, bool)) {
+	if len(as.Lhs) != 1 {
+		return
+	}
+	id := rootIdent(as.Lhs[0])
+	if id == nil {
+		return
+	}
+	obj, outside := declaredOutside(id)
+	if !outside {
+		return
+	}
+
+	// s = append(s, ...) on an outer slice, without a later sort.
+	if len(as.Rhs) == 1 {
+		if call, ok := as.Rhs[0].(*ast.CallExpr); ok {
+			if fid, ok := call.Fun.(*ast.Ident); ok && fid.Name == "append" {
+				if obj == nil || !sorted[obj] {
+					pass.Report(as.Pos(), "append to %s inside map iteration records entries in nondeterministic order (sort %s afterwards, or //lint:detmap-exempt <reason>)", id.Name, id.Name)
+				}
+				return
+			}
+		}
+	}
+
+	// Compound accumulation into an outer string or float.
+	if isArithAssign(as.Tok) {
+		t := pass.typeOf(as.Lhs[0])
+		if t == nil {
+			return
+		}
+		b, ok := t.Underlying().(*types.Basic)
+		if !ok {
+			return
+		}
+		switch {
+		case b.Info()&types.IsString != 0:
+			pass.Report(as.Pos(), "string concatenation into %s inside map iteration builds a nondeterministic value (sort keys first, or //lint:detmap-exempt <reason>)", id.Name)
+		case b.Info()&types.IsFloat != 0:
+			pass.Report(as.Pos(), "float accumulation into %s inside map iteration is order-sensitive (non-associative addition; sort keys first, or //lint:detmap-exempt <reason>)", id.Name)
+		}
+	}
+}

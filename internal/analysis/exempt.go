@@ -1,0 +1,168 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Exemption directives
+//
+// A diagnostic is suppressed by a comment of the form
+//
+//	//lint:<directive> <reason>
+//
+// where <directive> is the analyzer's Directive (e.g. "fpu-exempt") and
+// <reason> is mandatory free text explaining why the invariant does not
+// apply. The directive's scope depends on where the comment sits:
+//
+//   - in a file's doc comment (above `package`): the whole file;
+//   - in a declaration's doc comment (func, type, var, const): that
+//     declaration, body included;
+//   - trailing a statement, or on its own line: the innermost statement
+//     or declaration spanning (for trailing) or immediately following
+//     (for standalone) the comment — multi-line statements are covered
+//     in full.
+//
+// A directive with an empty reason, or an unknown //lint: directive, is
+// itself reported; the hygiene check lives in checker.go so every run of
+// the suite enforces it regardless of which analyzers are selected.
+
+const directivePrefix = "//lint:"
+
+// directive is one parsed //lint: comment.
+type directive struct {
+	name   string // e.g. "fpu-exempt"
+	reason string
+	pos    token.Pos
+	end    token.Pos
+}
+
+// lineRange is an inclusive exempted line span within one file.
+type lineRange struct{ from, to int }
+
+// exemptIndex answers "is this position covered by a directive for this
+// analyzer" across all files of a package.
+type exemptIndex struct {
+	// byFile is keyed by filename; values map directive name → spans.
+	byFile map[string]map[string][]lineRange
+}
+
+func (x *exemptIndex) covers(directiveName string, pos token.Position) bool {
+	if x == nil || directiveName == "" {
+		return false
+	}
+	for _, r := range x.byFile[pos.Filename][directiveName] {
+		if pos.Line >= r.from && pos.Line <= r.to {
+			return true
+		}
+	}
+	return false
+}
+
+// parseDirectives extracts every //lint: comment from f.
+func parseDirectives(f *ast.File) []directive {
+	var out []directive
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, directivePrefix)
+			if !ok {
+				continue
+			}
+			name, reason, _ := strings.Cut(rest, " ")
+			out = append(out, directive{
+				name:   strings.TrimSpace(name),
+				reason: strings.TrimSpace(reason),
+				pos:    c.Pos(),
+				end:    c.End(),
+			})
+		}
+	}
+	return out
+}
+
+// buildExemptIndex resolves each directive in each file to its exempted
+// line span. known maps directive name → true for every registered
+// analyzer directive; unknown names are left out of the index (the
+// hygiene check reports them separately).
+func buildExemptIndex(fset *token.FileSet, files []*ast.File, known map[string]bool) *exemptIndex {
+	idx := &exemptIndex{byFile: make(map[string]map[string][]lineRange)}
+	for _, f := range files {
+		fileName := fset.Position(f.Pos()).Filename
+		spans := idx.byFile[fileName]
+		if spans == nil {
+			spans = make(map[string][]lineRange)
+			idx.byFile[fileName] = spans
+		}
+		fileEndLine := fset.Position(f.End()).Line
+		for _, d := range parseDirectives(f) {
+			if !known[d.name] {
+				continue
+			}
+			r := resolveScope(fset, f, d, fileEndLine)
+			spans[d.name] = append(spans[d.name], r)
+		}
+	}
+	return idx
+}
+
+// resolveScope maps a directive to its exempted line range per the rules
+// in the package comment above.
+func resolveScope(fset *token.FileSet, f *ast.File, d directive, fileEndLine int) lineRange {
+	dLine := fset.Position(d.pos).Line
+
+	// File scope: the directive sits above the package clause.
+	if d.end < f.Package {
+		return lineRange{1, fileEndLine}
+	}
+
+	// Declaration scope: the directive is part of a decl's doc comment.
+	for _, decl := range f.Decls {
+		var doc *ast.CommentGroup
+		switch v := decl.(type) {
+		case *ast.FuncDecl:
+			doc = v.Doc
+		case *ast.GenDecl:
+			doc = v.Doc
+		}
+		if doc != nil && d.pos >= doc.Pos() && d.end <= doc.End() {
+			return lineRange{fset.Position(decl.Pos()).Line, fset.Position(decl.End()).Line}
+		}
+	}
+
+	// Statement scope: the innermost statement whose span contains the
+	// directive line (trailing comment) or starts just after it
+	// (standalone comment above a statement).
+	if r, ok := innermostStmtRange(fset, f, dLine); ok {
+		return r
+	}
+	// Fallback: the directive's own line and the next (covers struct
+	// fields, composite-literal entries, and other non-statement sites).
+	return lineRange{dLine, dLine + 1}
+}
+
+// innermostStmtRange finds the smallest statement or declaration whose
+// line span contains line, or — failing that — the smallest one starting
+// on the first line after it. ok is false when neither exists.
+func innermostStmtRange(fset *token.FileSet, f *ast.File, line int) (lineRange, bool) {
+	best := lineRange{}
+	bestSize := 1 << 30
+	found := false
+	consider := func(n ast.Node) {
+		from := fset.Position(n.Pos()).Line
+		to := fset.Position(n.End()).Line
+		if from <= line && line <= to || from == line+1 {
+			if size := to - from; !found || size < bestSize {
+				best, bestSize, found = lineRange{from, to}, size, true
+			}
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case ast.Stmt, ast.Decl:
+			consider(n)
+		}
+		return true
+	})
+	return best, found
+}

@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// FPUMediation enforces the repo's fault model: in the numerical packages,
+// every stochastic floating-point operation must flow through an fpu.Unit
+// (u.Add/Sub/Mul/Div/Sqrt, the batched kernels, or the linalg wrappers).
+// A raw `a*b` in a workload computes exactly even when the simulated FPU
+// is faulty, silently escaping injection and inflating the measured
+// robustness of whatever algorithm contains it — the experiment's validity
+// rests on this invariant (Sloan et al., DSN 2010).
+//
+// Flagged: non-constant float +, -, *, / (binary and compound assignment)
+// and calls into package math other than the bit-manipulation allowlist
+// below. Not flagged: comparisons and negation (reliable control logic and
+// sign-wire flips per the paper's fault model — workloads that want faulty
+// compares opt in via u.Less), and constant expressions (folded at compile
+// time, never issued to the FPU).
+//
+// Genuinely fault-free code — problem generation, reference solutions,
+// error metrics computed outside the simulated machine — is exempted with
+// //lint:fpu-exempt <reason>.
+var FPUMediation = &Analyzer{
+	Name:      "fpumediation",
+	Directive: "fpu-exempt",
+	Doc:       "raw float math in numerical packages must route through fpu.Unit",
+	Run:       runFPUMediation,
+}
+
+// fpuScopes are the package paths whose float math models the simulated
+// machine. internal/fpu itself is the mediator and internal/figures &
+// internal/harness are experiment plumbing; they are deliberately out of
+// scope.
+var fpuScopes = []string{
+	"robustify/internal/apps/",
+	"robustify/internal/solver",
+	"robustify/internal/linalg",
+	"robustify/internal/core",
+}
+
+// mathAllowlist are math functions that read or rewrite bits without
+// touching the FPU's timing-critical datapath (sign masks, classification,
+// raw bit access) — the same set fpu.Unit itself models as reliable.
+var mathAllowlist = map[string]bool{
+	"Abs": true, "Signbit": true, "Copysign": true,
+	"IsNaN": true, "IsInf": true, "NaN": true, "Inf": true,
+	"Float64bits": true, "Float64frombits": true,
+	"Float32bits": true, "Float32frombits": true,
+}
+
+func inFPUScope(path string) bool {
+	for _, s := range fpuScopes {
+		if strings.HasPrefix(path, s) || path == strings.TrimSuffix(s, "/") {
+			return true
+		}
+	}
+	return false
+}
+
+func runFPUMediation(pass *Pass) {
+	if !inFPUScope(pass.Path) {
+		return
+	}
+	for _, f := range pass.Files {
+		// reportedUntil collapses nested arithmetic: `a*b + c*d` is one
+		// finding at the outermost expression, not three.
+		var reportedUntil token.Pos
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.BinaryExpr:
+				if !isArithOp(v.Op) || pass.isConst(v) || !pass.isFloat(v.X) {
+					return true
+				}
+				if v.Pos() < reportedUntil {
+					return true
+				}
+				reportedUntil = v.End()
+				pass.Report(v.OpPos, "raw float %s bypasses fpu.Unit mediation (use the unit's ops/kernels, or //lint:fpu-exempt <reason>)", v.Op)
+			case *ast.AssignStmt:
+				if isArithAssign(v.Tok) && len(v.Lhs) == 1 && pass.isFloat(v.Lhs[0]) && v.Pos() >= reportedUntil {
+					reportedUntil = v.End()
+					pass.Report(v.TokPos, "raw float %s bypasses fpu.Unit mediation (use the unit's ops/kernels, or //lint:fpu-exempt <reason>)", v.Tok)
+				}
+			case *ast.CallExpr:
+				if pkg, fn := pass.pkgFunc(v); pkg == "math" && !mathAllowlist[fn] && v.Pos() >= reportedUntil {
+					pass.Report(v.Pos(), "math.%s bypasses fpu.Unit mediation (use the unit's ops, or //lint:fpu-exempt <reason>)", fn)
+				}
+			}
+			return true
+		})
+	}
+}
+
+func isArithOp(op token.Token) bool {
+	switch op {
+	case token.ADD, token.SUB, token.MUL, token.QUO:
+		return true
+	}
+	return false
+}
+
+func isArithAssign(op token.Token) bool {
+	switch op {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		return true
+	}
+	return false
+}

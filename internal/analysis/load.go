@@ -1,0 +1,150 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// listedPkg is the subset of `go list -json` output the loader consumes.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Standard   bool
+	Export     string
+	Match      []string
+	Error      *struct{ Err string }
+}
+
+// Load locates the packages matching patterns (relative to dir, which must
+// be inside the module), compiles their dependency graph with
+// `go list -export`, and re-type-checks each matched package from source so
+// analyzers see full syntax with types. Test files are not loaded: the
+// invariants robustlint guards are production-code invariants, and several
+// analyzers (seededrand in particular) deliberately permit test-only
+// idioms.
+//
+// The loader needs no network and no dependencies beyond the go toolchain:
+// imports are satisfied from the export data the toolchain just produced,
+// read back through go/importer's gc lookup mode.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	exports := make(map[string]string) // import path → export data file
+	var targets []*listedPkg
+	for _, lp := range listed {
+		if lp.Error != nil {
+			return nil, fmt.Errorf("analysis: go list %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		if len(lp.Match) > 0 && !lp.Standard {
+			targets = append(targets, lp)
+		}
+	}
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		exp, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(exp)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+
+	var pkgs []*Package
+	for _, lp := range targets {
+		var files []*ast.File
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, fmt.Errorf("analysis: parse: %w", err)
+			}
+			files = append(files, f)
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: typecheck %s: %w", lp.ImportPath, err)
+		}
+		pkgs = append(pkgs, &Package{
+			Path:  lp.ImportPath,
+			Dir:   lp.Dir,
+			Fset:  fset,
+			Files: files,
+			Pkg:   tpkg,
+			Info:  info,
+		})
+	}
+	return pkgs, nil
+}
+
+// goList runs `go list -export -deps -json` over patterns and decodes the
+// package stream. -deps pulls in every transitive dependency (standard
+// library included) so export data exists for the importer; the matched
+// target packages are distinguished by their Match field.
+func goList(dir string, patterns []string) ([]*listedPkg, error) {
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Dir,GoFiles,Standard,Export,Match,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		msg := strings.TrimSpace(stderr.String())
+		if msg == "" {
+			msg = err.Error()
+		}
+		return nil, fmt.Errorf("analysis: go list: %s", msg)
+	}
+	var out []*listedPkg
+	dec := json.NewDecoder(&stdout)
+	for {
+		var lp listedPkg
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decode go list output: %w", err)
+		}
+		out = append(out, &lp)
+	}
+	return out, nil
+}

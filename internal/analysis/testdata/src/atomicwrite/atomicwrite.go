@@ -1,0 +1,34 @@
+// Package atomicwrite exercises the atomicwrite analyzer: direct
+// os.WriteFile/os.Create of *.json artifacts are flagged, non-JSON writes
+// pass, and written exemptions suppress. The fixture runner loads it
+// under robustify/internal/campaign.
+package atomicwrite
+
+import (
+	"os"
+	"path/filepath"
+)
+
+const specFile = "spec.json"
+
+// SaveDirect writes a JSON artifact non-atomically: a crash mid-write
+// tears it.
+func SaveDirect(dir string, data []byte) error {
+	return os.WriteFile(filepath.Join(dir, specFile), data, 0o644) // want "os.WriteFile of a .json artifact"
+}
+
+// CreateDirect opens a JSON artifact with a raw file handle.
+func CreateDirect(dir string) (*os.File, error) {
+	return os.Create(filepath.Join(dir, "meta.json")) // want "os.Create of a .json artifact"
+}
+
+// SaveLog writes a non-JSON artifact; out of the analyzer's scope.
+func SaveLog(dir string, data []byte) error {
+	return os.WriteFile(filepath.Join(dir, "run.log"), data, 0o644)
+}
+
+// Dump is a one-shot debug artifact that genuinely needs no atomicity.
+func Dump(path string, data []byte) error {
+	//lint:atomicwrite-exempt fixture: one-shot debug dump, no reader depends on it surviving a crash
+	return os.WriteFile(path+".debug.json", data, 0o644)
+}

@@ -1,0 +1,68 @@
+// Package detmaprange exercises the detmaprange analyzer: order-dependent
+// sinks inside map iteration are flagged, the collect-then-sort idiom and
+// order-independent aggregation pass, and written exemptions suppress.
+package detmaprange
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Keys records map keys without sorting: the map's randomized order leaks
+// into the returned slice.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "append to out"
+	}
+	return out
+}
+
+// SortedKeys is the canonical collect-then-sort idiom and must pass.
+func SortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Total accumulates floats in map order: addition is not associative, so
+// the low bits depend on iteration order.
+func Total(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want "float accumulation into sum"
+	}
+	return sum
+}
+
+// SumInts is exact, associative aggregation and must pass.
+func SumInts(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Dump prints entries in map order.
+func Dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want "fmt.Println inside map iteration"
+	}
+}
+
+// Shutdown fans out over a map with a written exemption: the order the
+// functions run in is not observable in any artifact.
+func Shutdown(m map[string]func()) {
+	var fns []func()
+	for _, f := range m {
+		//lint:detmap-exempt fixture: cancellation fan-out order is not observable in any artifact
+		fns = append(fns, f)
+	}
+	for _, f := range fns {
+		f()
+	}
+}

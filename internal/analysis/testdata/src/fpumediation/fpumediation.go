@@ -1,0 +1,39 @@
+// Package fpumediation exercises the fpumediation analyzer: raw float
+// arithmetic and math calls are flagged in numerical packages, constants
+// and allowlisted bit-level predicates pass, and written exemptions
+// suppress. The fixture runner loads it under a numerical import path.
+package fpumediation
+
+import "math"
+
+// Step mixes raw float arithmetic into what should be mediated math.
+func Step(a, b float64) float64 {
+	c := a * b          // want "raw float *"
+	c += a              // want "raw float +="
+	return math.Sqrt(c) // want "math.Sqrt bypasses"
+}
+
+// Classify uses only constant folding, integer math, comparisons, and
+// allowlisted bit-level predicates: nothing here touches the simulated
+// FPU, so nothing is flagged.
+func Classify(a float64, n int) bool {
+	const half = 1.0 / 2.0
+	m := n*2 + 1
+	return math.IsNaN(a) || math.Abs(a) > half || m > 0
+}
+
+// RelGap is an error metric computed outside the simulated machine; the
+// declaration-scoped exemption covers the whole body.
+//
+//lint:fpu-exempt fixture: error metrics are measured reliably, outside the simulated machine
+func RelGap(a, b float64) float64 {
+	return (a - b) / b
+}
+
+// Mixed shows statement-scoped exemption: the step-size line is exempted,
+// the update right below it is still flagged.
+func Mixed(a, b float64) float64 {
+	//lint:fpu-exempt fixture: the step-size constant is reliable control, not data-path math
+	step := a / 16
+	return step * b // want "raw float *"
+}

@@ -1,0 +1,18 @@
+// Package lintdirective exercises the directive hygiene check: misspelled
+// directives exempt nothing and are reported, and a directive with no
+// written reason is itself a diagnostic.
+package lintdirective
+
+// Typo carries a misspelled directive: it exempts nothing, so both the
+// typo and the arithmetic it meant to cover are reported.
+func Typo(a, b float64) float64 {
+	//lint:fpu-exmept the misspelling means this exempts nothing
+	return a * b
+}
+
+// NoReason carries a directive with no written reason: the missing reason
+// is a non-exemptible diagnostic, so the suite still fails.
+func NoReason(a, b float64) float64 {
+	//lint:fpu-exempt
+	return a / b
+}

@@ -1,0 +1,41 @@
+// Package notimeinartifacts exercises the notimeinartifacts analyzer:
+// wall-clock values flowing into JSON serialization are flagged, purely
+// deterministic records pass, and lifecycle artifacts explicitly outside
+// resume identity are exempted. The fixture runner loads it under
+// robustify/internal/campaign.
+package notimeinartifacts
+
+import (
+	"encoding/json"
+	"time"
+)
+
+type record struct {
+	Elapsed float64 `json:"elapsed"`
+	Value   int     `json:"value"`
+}
+
+// Tainted lets a wall-clock reading reach a serialized record: the
+// duration taints r, and r reaches json.Marshal.
+func Tainted(start time.Time) ([]byte, error) {
+	r := record{Elapsed: time.Since(start).Seconds(), Value: 1}
+	return json.Marshal(r) // want "wall-clock value reaches json.Marshal"
+}
+
+// Clean measures a duration but keeps it out of the serialized record;
+// only deterministic data reaches the sink.
+func Clean(start time.Time, v int) ([]byte, float64, error) {
+	elapsed := time.Since(start).Seconds()
+	r := record{Value: v}
+	b, err := json.Marshal(r)
+	return b, elapsed, err
+}
+
+// Meta serializes a lifecycle record that is deliberately outside resume
+// identity; the declaration-scoped exemption covers it.
+//
+//lint:artifact-time-exempt fixture: lifecycle record outside resume identity, like meta.json
+func Meta() ([]byte, error) {
+	m := map[string]string{"finished": time.Now().UTC().Format(time.RFC3339)}
+	return json.Marshal(m)
+}

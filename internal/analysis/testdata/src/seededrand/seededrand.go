@@ -1,0 +1,31 @@
+// Package seededrand exercises the seededrand analyzer: global math/rand
+// draws and clock-derived seeds are flagged, explicitly seeded sources
+// pass, and written exemptions suppress.
+package seededrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Global draws from the shared auto-seeded source.
+func Global() int {
+	return rand.Intn(10) // want "rand.Intn uses the global math/rand source"
+}
+
+// ClockSeeded derives its seed from the wall clock; both the constructor
+// and the source it wraps are reported.
+func ClockSeeded() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want "rand.New seeded from the clock" "rand.NewSource seeded from the clock"
+}
+
+// Seeded draws from an explicitly seeded source and must pass.
+func Seeded(seed int64) int {
+	return rand.New(rand.NewSource(seed)).Intn(10)
+}
+
+// Jitter deliberately wants ambient randomness, with a written reason.
+func Jitter() int {
+	//lint:rand-exempt fixture: backoff jitter is deliberately nondeterministic and never recorded
+	return rand.Intn(100)
+}

@@ -46,6 +46,8 @@ func (f *Filter) Taps() int {
 // between numerator and denominator keeps the banded system B reasonably
 // conditioned, which the variational solve needs. It is the 10-tap filter
 // family used by the Fig 6.3 experiments.
+//
+//lint:fpu-exempt fault-free filter design: coefficients are fixed before the simulated machine runs
 func Lowpass(taps int, poleRadius float64) (*Filter, error) {
 	if taps < 2 || poleRadius <= 0 || poleRadius >= 1 {
 		return nil, ErrBadFilter
@@ -80,6 +82,9 @@ func Lowpass(taps int, poleRadius float64) (*Filter, error) {
 	return NewFilter(a, b)
 }
 
+// convolve expands polynomial products during filter design.
+//
+//lint:fpu-exempt fault-free filter design helper: runs only during Lowpass coefficient construction
 func convolve(p, q []float64) []float64 {
 	out := make([]float64, len(p)+len(q)-1)
 	for i, pi := range p {
@@ -199,11 +204,15 @@ func (p *variational) Value(x []float64) float64 {
 
 // LinearSchedule returns the LS (1/t) schedule with η₀ = boost/λmax(BᵀB)
 // for a t-sample problem (reliable setup).
+//
+//lint:fpu-exempt fault-free setup: the step-size scale is picked before the simulated machine runs
 func (f *Filter) LinearSchedule(t int, boost float64) solver.Schedule {
 	return solver.Linear(boost / f.lipschitz(t))
 }
 
 // SqrtSchedule returns the SQS (1/√t) schedule, Lipschitz-scaled.
+//
+//lint:fpu-exempt fault-free setup: the step-size scale is picked before the simulated machine runs
 func (f *Filter) SqrtSchedule(t int, boost float64) solver.Schedule {
 	return solver.Sqrt(boost / f.lipschitz(t))
 }

@@ -46,6 +46,7 @@ func (inst *Instance) CutFromFlow(u *fpu.Unit, flow *linalg.Dense, tol float64) 
 	for _, e := range inst.edges {
 		if side[e.from] && !side[e.to] {
 			cut.Edges = append(cut.Edges, [2]int{e.from, e.to})
+			//lint:fpu-exempt cut capacity is summed reliably (metric path); only reachability runs on u
 			cut.Capacity += e.cap
 		}
 	}
@@ -70,6 +71,7 @@ func (inst *Instance) RobustMinCut(u *fpu.Unit, o Options) (*MinCut, error) {
 		}
 	}
 	// The SGD flow carries a few percent of slack on saturated edges.
+	//lint:fpu-exempt reliable control: the saturation tolerance feeds the nil-unit exact extraction
 	return inst.CutFromFlow(nil, flow, 0.05*maxCap), nil
 }
 

@@ -655,6 +655,7 @@ func (m *Manager) Shutdown(timeout time.Duration) bool {
 	m.closed = true
 	handles := make([]*handle, 0, len(m.byID))
 	for _, h := range m.byID {
+		//lint:detmap-exempt shutdown fan-out: cancellation/wait order is not observable in any durable artifact
 		handles = append(handles, h)
 	}
 	m.mu.Unlock()

@@ -6,6 +6,8 @@ import (
 	"os"
 	"path/filepath"
 	"time"
+
+	"robustify/internal/fsutil"
 )
 
 // metaFile is the per-campaign lifecycle record, written beside
@@ -32,36 +34,18 @@ type Meta struct {
 	Total    int        `json:"total,omitempty"`
 }
 
-// writeMeta atomically replaces dir's meta.json: the record is written to
-// a temp file, fsync'd, then renamed over the old one, so a crash
-// mid-update leaves either the old record or the new one, never a torn
-// file. (The rename itself is not directory-fsync'd; after a power loss,
-// as opposed to a process crash, the previous record may reappear — which
-// recovery handles like any other stale state.)
+// writeMeta atomically replaces dir's meta.json (temp + fsync + rename
+// via fsutil), so a crash mid-update leaves either the old record or the
+// new one, never a torn file. The Created/Started/Finished timestamps in
+// it are deliberate: meta.json is a lifecycle record, not part of resume
+// identity — trials.jsonl and spec.json carry that.
 func writeMeta(dir string, m Meta) error {
 	b, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return err
 	}
-	tmp := filepath.Join(dir, metaFile+".tmp")
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
-	if err != nil {
+	if err := fsutil.WriteFileAtomic(filepath.Join(dir, metaFile), append(b, '\n'), 0o644); err != nil {
 		return fmt.Errorf("campaign: write meta: %w", err)
-	}
-	_, werr := f.Write(append(b, '\n'))
-	if werr == nil {
-		werr = f.Sync()
-	}
-	if cerr := f.Close(); werr == nil {
-		werr = cerr
-	}
-	if werr != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("campaign: write meta: %w", werr)
-	}
-	if err := os.Rename(tmp, filepath.Join(dir, metaFile)); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("campaign: replace meta: %w", err)
 	}
 	return nil
 }

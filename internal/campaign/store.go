@@ -8,6 +8,8 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+
+	"robustify/internal/fsutil"
 )
 
 // storeFile, specFile, and metaFile (see meta.go) are the on-disk layout
@@ -66,8 +68,9 @@ func Open(dir string) (*Store, error) {
 	}
 	path := filepath.Join(dir, storeFile)
 	st := &Store{dir: dir, have: make(map[trialKey]float64)}
+	torn := false
 	if data, err := os.Open(path); err == nil {
-		loadErr := st.load(data)
+		tornTail, loadErr := st.load(data)
 		closeErr := data.Close()
 		if loadErr != nil {
 			return nil, fmt.Errorf("campaign: read store: %w", loadErr)
@@ -75,12 +78,23 @@ func Open(dir string) (*Store, error) {
 		if closeErr != nil {
 			return nil, closeErr
 		}
+		torn = tornTail
 	} else if !os.IsNotExist(err) {
 		return nil, err
 	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, err
+	}
+	// Repair a torn tail before appending: without the terminator, the
+	// next record would be glued onto the torn bytes and both would be
+	// dropped as one unparseable line on the following load — a durable
+	// write silently lost.
+	if torn {
+		if _, err := f.Write([]byte("\n")); err != nil {
+			f.Close()
+			return nil, err
+		}
 	}
 	st.f = f
 	st.w = bufio.NewWriter(f)
@@ -90,7 +104,9 @@ func Open(dir string) (*Store, error) {
 // load replays the store file into st.have. Unparseable, torn, and
 // oversized (>maxLineBytes) lines are skipped — those trials simply
 // rerun — so a single corrupt line never blocks reopening a campaign.
-func (st *Store) load(data io.Reader) error {
+// tornTail reports an unterminated final line (crash mid-append): the
+// caller must terminate it before appending more records.
+func (st *Store) load(data io.Reader) (tornTail bool, err error) {
 	r := bufio.NewReaderSize(data, 64*1024)
 	for {
 		line, tooLong, err := readLine(r)
@@ -101,10 +117,10 @@ func (st *Store) load(data io.Reader) error {
 			}
 		}
 		if err == io.EOF {
-			return nil
+			return len(line) > 0 || tooLong, nil
 		}
 		if err != nil {
-			return err
+			return false, err
 		}
 	}
 }
@@ -193,13 +209,16 @@ func (st *Store) CellValues(unit, rateIdx, trials int) []float64 {
 	return xs
 }
 
-// SaveSpec persists the campaign spec beside the results.
+// SaveSpec persists the campaign spec beside the results, atomically: a
+// crash mid-write must leave either no spec or a complete one — a torn
+// spec.json would make the whole campaign directory unloadable on the
+// next boot, turning a resumable campaign into a skipped one.
 func (st *Store) SaveSpec(spec Spec) error {
 	b, err := json.MarshalIndent(spec, "", "  ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(filepath.Join(st.dir, specFile), append(b, '\n'), 0o644)
+	return fsutil.WriteFileAtomic(filepath.Join(st.dir, specFile), append(b, '\n'), 0o644)
 }
 
 // LoadSpec reads a previously saved spec; ok is false when none exists.

@@ -1,0 +1,41 @@
+// Package fsutil holds the repo's blessed durable-file primitives. The
+// atomicwrite analyzer (internal/analysis) forbids writing *.json
+// artifacts any other way: recovery semantics assume an artifact is
+// either the old version or the new one, never a torn intermediate.
+package fsutil
+
+import (
+	"fmt"
+	"os"
+)
+
+// WriteFileAtomic replaces path with data via temp file + fsync + rename,
+// so a crash mid-update leaves either the old contents or the new ones,
+// never a torn file. (The rename itself is not directory-fsync'd; after a
+// power loss, as opposed to a process crash, the previous contents may
+// reappear — callers' recovery paths must treat that like any other stale
+// state.) The temp file lives beside path, so the rename never crosses a
+// filesystem boundary.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, perm)
+	if err != nil {
+		return fmt.Errorf("fsutil: write %s: %w", path, err)
+	}
+	_, werr := f.Write(data)
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("fsutil: write %s: %w", path, werr)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("fsutil: replace %s: %w", path, err)
+	}
+	return nil
+}

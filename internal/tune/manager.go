@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"robustify/internal/campaign"
+	"robustify/internal/fsutil"
 )
 
 // traceFile is the durable search state of one tune run, written
@@ -415,6 +416,7 @@ func (m *Manager) Interrupt() {
 	m.closed = true
 	runs := make([]*run, 0, len(m.byID))
 	for _, r := range m.byID {
+		//lint:detmap-exempt shutdown fan-out: cancellation order is not observable in any durable artifact
 		runs = append(runs, r)
 	}
 	m.mu.Unlock()
@@ -441,6 +443,7 @@ func (m *Manager) Shutdown(timeout time.Duration) bool {
 	m.mu.Lock()
 	runs := make([]*run, 0, len(m.byID))
 	for _, r := range m.byID {
+		//lint:detmap-exempt shutdown fan-out: wait order is not observable in any durable artifact
 		runs = append(runs, r)
 	}
 	m.mu.Unlock()
@@ -795,31 +798,16 @@ func (t *Trace) clone() *Trace {
 	return &c
 }
 
-// writeTrace atomically replaces dir's tune.json.
+// writeTrace atomically replaces dir's tune.json (temp + fsync + rename
+// via fsutil) — the trace is a resume-identity artifact and must never
+// be observable half-written.
 func writeTrace(dir string, t *Trace) error {
 	b, err := json.MarshalIndent(t, "", "  ")
 	if err != nil {
 		return err
 	}
-	tmp := filepath.Join(dir, traceFile+".tmp")
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
-	if err != nil {
+	if err := fsutil.WriteFileAtomic(filepath.Join(dir, traceFile), append(b, '\n'), 0o644); err != nil {
 		return fmt.Errorf("tune: write trace: %w", err)
-	}
-	_, werr := f.Write(append(b, '\n'))
-	if werr == nil {
-		werr = f.Sync()
-	}
-	if cerr := f.Close(); werr == nil {
-		werr = cerr
-	}
-	if werr != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("tune: write trace: %w", werr)
-	}
-	if err := os.Rename(tmp, filepath.Join(dir, traceFile)); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("tune: replace trace: %w", err)
 	}
 	return nil
 }
