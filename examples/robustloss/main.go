@@ -1,0 +1,104 @@
+// Robust losses: the same faulty least squares solve with a quadratic and
+// a Huber residual loss.
+//
+// Under FPU faults an occasional residual comes back astronomically large;
+// the quadratic loss squares it and lets it dominate the gradient, while
+// Huber's bounded influence caps its pull. Swapping the loss is one option
+// — the solver, schedule, and fault stream are untouched.
+package main
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"robustify"
+)
+
+func main() {
+	run(os.Stdout, false)
+}
+
+// run executes the example, writing the report to w. quick shrinks the
+// sweep for smoke tests.
+func run(w io.Writer, quick bool) {
+	seeds, iters := uint64(5), 1500
+	if quick {
+		seeds, iters = 2, 300
+	}
+
+	// A random overdetermined system A·x* = b (60 equations, 8 unknowns)
+	// with a handful of grossly corrupted observations — the classic
+	// outlier setting, on top of the faulty FPU.
+	rng := rand.New(rand.NewSource(7))
+	a := robustify.NewMatrix(60, 8)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	xTrue := make([]float64, 8)
+	for i := range xTrue {
+		xTrue[i] = rng.NormFloat64()
+	}
+	b := make([]float64, 60)
+	a.MulVec(nil, xTrue, b)
+	for _, i := range []int{5, 23, 41} {
+		b[i] += 50 * (1 + rng.Float64())
+	}
+
+	const faultRate = 0.01
+
+	solve := func(loss robustify.Robustifier, seed uint64) float64 {
+		u := robustify.NewFPU(robustify.WithFaultRate(faultRate, seed))
+		p, err := robustify.NewRobustLeastSquares(u, a, b, loss)
+		if err != nil {
+			panic(err)
+		}
+		res, err := robustify.SGD(p, make([]float64, 8), robustify.SolveOptions{
+			Iters:       iters,
+			Schedule:    robustify.Linear(8 / p.Lipschitz()),
+			TailAverage: iters / 10,
+		})
+		if err != nil {
+			panic(err)
+		}
+		// Distance from the true generator, not the contaminated LS
+		// minimizer: the outliers drag the latter away from x*.
+		return relErr(res.X, xTrue)
+	}
+
+	fmt.Fprintln(w, "seed   quadratic rel.err   huber rel.err")
+	for seed := uint64(1); seed <= seeds; seed++ {
+		huber, err := robustify.NewLoss(robustify.LossHuber, 1.0)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Fprintf(w, "%4d   %-19.3g %-.3g\n", seed, solve(nil, seed), solve(huber, seed))
+	}
+}
+
+// relErr is ‖x − want‖/‖want‖ in plain (reliable) arithmetic.
+func relErr(x, want []float64) float64 {
+	var num, den float64
+	for i := range x {
+		d := x[i] - want[i]
+		num += d * d
+		den += want[i] * want[i]
+	}
+	if den == 0 {
+		return 0
+	}
+	return sqrt(num / den)
+}
+
+// sqrt is a dependency-free Newton square root for the report metric.
+func sqrt(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	x := v
+	for i := 0; i < 40; i++ {
+		x = 0.5 * (x + v/x)
+	}
+	return x
+}

@@ -1,0 +1,26 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRobustLossSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	run(&buf, true)
+	if !strings.Contains(buf.String(), "huber rel.err") {
+		t.Fatalf("unexpected output:\n%s", buf.String())
+	}
+}
+
+// TestRobustLossDeterministic pins the example's fixed seeds: two runs
+// must be byte-identical, faults and all.
+func TestRobustLossDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	run(&a, true)
+	run(&b, true)
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("example output differs between runs:\n--- first\n%s\n--- second\n%s", a.String(), b.String())
+	}
+}

@@ -93,6 +93,13 @@ func TestFPUMediationFixture(t *testing.T) {
 	runFixture(t, "fpumediation", "robustify/internal/solver", []*Analyzer{FPUMediation})
 }
 
+func TestFPUMediationRobustLossFixture(t *testing.T) {
+	// internal/robust is in the analyzer's scope: a loss whose ρ/ψ/weight
+	// math bypasses the unit must be flagged (it would silently escape
+	// fault injection).
+	runFixture(t, "robustloss", "robustify/internal/robust", []*Analyzer{FPUMediation})
+}
+
 func TestFPUMediationOutOfScope(t *testing.T) {
 	// The same fixture under a non-numerical path produces nothing: the
 	// analyzer audits only the packages that model the simulated machine.

@@ -40,6 +40,7 @@ var fpuScopes = []string{
 	"robustify/internal/solver",
 	"robustify/internal/linalg",
 	"robustify/internal/core",
+	"robustify/internal/robust",
 }
 
 // mathAllowlist are math functions that read or rewrite bits without

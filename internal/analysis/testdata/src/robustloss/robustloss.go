@@ -1,0 +1,41 @@
+// Package robustloss exercises the fpumediation scope extension to
+// internal/robust: a loss implementation that computes ρ or ψ with raw
+// float arithmetic escapes fault injection — its influence function would
+// stay exact while the rest of the datapath is corrupted, silently
+// inflating every robustness measurement built on it. The fixture runner
+// loads this package under the internal/robust import path.
+package robustloss
+
+// unit stands in for fpu.Unit; the fixture only needs the call shape.
+type unit struct{}
+
+func (u *unit) Mul(a, b float64) float64 { return a * b } // want "raw float *"
+func (u *unit) Div(a, b float64) float64 { return a / b } // want "raw float /"
+
+// RhoMediated is the correct pattern: every op through the unit.
+func RhoMediated(u *unit, r float64) float64 {
+	return u.Mul(r, r)
+}
+
+// RhoRaw is the bug the scope extension exists to catch: a loss evaluated
+// with native arithmetic, invisible to the injector.
+func RhoRaw(r float64) float64 {
+	return r * r // want "raw float *"
+}
+
+// WeightRaw compounds it inside an otherwise mediated loss.
+func WeightRaw(u *unit, sigma, r float64) float64 {
+	den := u.Mul(sigma, sigma)
+	den += r * r // want "raw float +="
+	return u.Div(u.Mul(sigma, sigma), den)
+}
+
+// DefaultShape is reliable registry metadata, not datapath math: constant
+// expressions and plain returns are not flagged.
+func DefaultShape(kind string) float64 {
+	const fallback = 1.0
+	if kind == "smooth-l1" {
+		return 0.1
+	}
+	return fallback
+}

@@ -10,6 +10,7 @@ import (
 	"robustify/internal/fpu"
 	"robustify/internal/graph"
 	"robustify/internal/linalg"
+	"robustify/internal/robust"
 	"robustify/internal/solver"
 )
 
@@ -131,6 +132,11 @@ type Options struct {
 	Tail     int     // Polyak tail-averaging window (0 = off)
 	Mu       float64 // penalty weight; 0 picks the default
 	Kind     core.PenaltyKind
+	// Loss, when non-nil, scores constraint violations with a robust loss
+	// instead of Kind's |·| or (·)² penalty (Kind is then ignored). A
+	// bounded-influence loss caps how hard one corrupted constraint row
+	// can yank the iterate.
+	Loss robust.Robustifier
 }
 
 // DistOf unflattens a solution vector into a distance matrix with a zero
@@ -157,14 +163,20 @@ func (inst *Instance) Robust(u *fpu.Unit, o Options) (*linalg.Dense, solver.Resu
 	if mu == 0 {
 		mu = 8
 	}
-	kind := o.Kind
-	if kind == 0 {
-		// The quadratic penalty's finite-μ bias telescopes along path
-		// chains (each hop overshoots by ~1/(4μ)); the ℓ1 penalty is
-		// exact at finite μ, so it is the default here.
-		kind = core.PenaltyAbs
+	var prob *core.PenaltyLP
+	var err error
+	if o.Loss != nil {
+		prob, err = core.NewRobustPenaltyLP(u, lp, o.Loss, mu)
+	} else {
+		kind := o.Kind
+		if kind == 0 {
+			// The quadratic penalty's finite-μ bias telescopes along path
+			// chains (each hop overshoots by ~1/(4μ)); the ℓ1 penalty is
+			// exact at finite μ, so it is the default here.
+			kind = core.PenaltyAbs
+		}
+		prob, err = core.NewPenaltyLP(u, lp, kind, mu)
 	}
-	prob, err := core.NewPenaltyLP(u, lp, kind, mu)
 	if err != nil {
 		return nil, solver.Result{}, err
 	}

@@ -11,6 +11,7 @@ import (
 	"robustify/internal/core"
 	"robustify/internal/fpu"
 	"robustify/internal/linalg"
+	"robustify/internal/robust"
 	"robustify/internal/solver"
 )
 
@@ -75,6 +76,14 @@ type SGDOptions struct {
 	Schedule   solver.Schedule // nil: Linear with a Lipschitz-scaled η₀
 	Momentum   float64
 	Aggressive *solver.Aggressive
+	// Loss selects a robust loss for the residuals (nil = the paper's
+	// quadratic objective, bit-identical to the pre-loss solver). A
+	// bounded-influence loss caps how hard one fault-corrupted residual can
+	// pull the gradient.
+	Loss robust.Robustifier
+	// Anneal, when non-nil, anneals the loss shape over the run (ignored
+	// by the quadratic default, which has no shape).
+	Anneal *solver.Anneal
 }
 
 // LinearSchedule returns the paper's LS (1/t) schedule with η₀ scaled to
@@ -103,7 +112,7 @@ func (inst *Instance) lipschitz() float64 {
 // SolveSGD runs the robustified gradient-descent solve on u from the zero
 // iterate.
 func (inst *Instance) SolveSGD(u *fpu.Unit, o SGDOptions) ([]float64, solver.Result, error) {
-	p, err := core.NewLeastSquares(u, inst.A, inst.B)
+	p, err := core.NewRobustLeastSquares(u, inst.A, inst.B, o.Loss)
 	if err != nil {
 		return nil, solver.Result{}, err
 	}
@@ -116,6 +125,7 @@ func (inst *Instance) SolveSGD(u *fpu.Unit, o SGDOptions) ([]float64, solver.Res
 		Schedule:   sched,
 		Momentum:   o.Momentum,
 		Aggressive: o.Aggressive,
+		Anneal:     o.Anneal,
 	})
 	if err != nil {
 		return nil, res, err
@@ -134,6 +144,21 @@ func (inst *Instance) SolveCG(u *fpu.Unit, iters, restartEvery int) ([]float64, 
 	res, err := solver.CG(u, mul, atb, make([]float64, n), solver.CGOptions{
 		Iters:        iters,
 		RestartEvery: restartEvery,
+	})
+	if err != nil {
+		return nil, res, err
+	}
+	return res.X, res, nil
+}
+
+// SolveIRLS runs the robust conjugate-gradient solve: IRLS outer rounds of
+// weighted normal equations, each solved by restarted CG on u. A nil or
+// quadratic loss collapses to SolveCG bit for bit (outer rounds collapse to
+// one plain CG solve).
+func (inst *Instance) SolveIRLS(u *fpu.Unit, loss robust.Robustifier, outer, iters, restartEvery int) ([]float64, solver.Result, error) {
+	res, err := solver.IRLS(u, inst.A, inst.B, loss, make([]float64, inst.A.Cols), solver.IRLSOptions{
+		Outer: outer,
+		CG:    solver.CGOptions{Iters: iters, RestartEvery: restartEvery},
 	})
 	if err != nil {
 		return nil, res, err

@@ -18,6 +18,7 @@ import (
 	"robustify/internal/core"
 	"robustify/internal/fpu"
 	"robustify/internal/linalg"
+	"robustify/internal/robust"
 	"robustify/internal/solver"
 )
 
@@ -109,16 +110,26 @@ type Problem struct {
 	x      *linalg.Dense
 	y      []float64
 	lambda float64
+	loss   robust.Robustifier // nil = plain hinge, the legacy path
 }
 
 var _ core.Problem = (*Problem)(nil)
 
 // NewProblem builds the training objective on unit u.
 func NewProblem(u *fpu.Unit, d *Dataset, lambda float64) (*Problem, error) {
+	return NewRobustProblem(u, d, lambda, nil)
+}
+
+// NewRobustProblem builds the training objective with the margin violation
+// m = [1 − y·⟨w, x⟩]₊ scored by the robust loss ρ instead of linearly:
+// f(w) = λ/2·‖w‖² + (1/n)·Σρ(mᵢ). A nil loss keeps the paper's plain hinge
+// bit for bit; a bounded-influence ρ caps the pull of examples whose score
+// a fault has blown up.
+func NewRobustProblem(u *fpu.Unit, d *Dataset, lambda float64, loss robust.Robustifier) (*Problem, error) {
 	if d.X == nil || d.X.Rows != len(d.Y) || lambda <= 0 {
 		return nil, ErrBadData
 	}
-	return &Problem{u: u, x: d.X, y: d.Y, lambda: lambda}, nil
+	return &Problem{u: u, x: d.X, y: d.Y, lambda: lambda, loss: loss}, nil
 }
 
 // FPU returns the stochastic unit.
@@ -141,6 +152,11 @@ func (p *Problem) Grad(w, grad []float64) {
 		score := u.Mul(p.y[i], linalg.Dot(u, row, w))
 		if u.Less(score, 1) { // margin violated (faulty comparison)
 			c := u.Mul(-p.y[i], inv)
+			if p.loss != nil {
+				// ∂ρ(m)/∂w = 2ψ(m)·∂m/∂w with m = 1 − y·score.
+				m := u.Sub(1, score)
+				c = u.Mul(c, u.Mul(2, p.loss.Psi(u, m)))
+			}
 			linalg.Axpy(u, c, row, grad)
 		}
 	}
@@ -155,6 +171,9 @@ func (p *Problem) Value(w []float64) float64 {
 	for i := 0; i < n; i++ {
 		m := 1 - p.y[i]*linalg.Dot(nil, p.x.Row(i), w)
 		if m > 0 {
+			if p.loss != nil {
+				m = p.loss.Rho(nil, m)
+			}
 			v += m / float64(n)
 		}
 	}
@@ -167,6 +186,9 @@ type Options struct {
 	Lambda   float64         // regularization; 0 picks 0.01
 	Schedule solver.Schedule // nil: Pegasos-style 1/(λ·t)
 	Tail     int             // Polyak tail-averaging window (0 = Iters/4)
+	// Loss scores margin violations with a robust loss (nil = the plain
+	// hinge, bit-identical to the pre-loss trainer).
+	Loss robust.Robustifier
 }
 
 // Train fits a robust linear SVM on u.
@@ -175,7 +197,7 @@ func Train(u *fpu.Unit, d *Dataset, o Options) ([]float64, solver.Result, error)
 	if lambda == 0 {
 		lambda = 0.01
 	}
-	p, err := NewProblem(u, d, lambda)
+	p, err := NewRobustProblem(u, d, lambda, o.Loss)
 	if err != nil {
 		return nil, solver.Result{}, err
 	}

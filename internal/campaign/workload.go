@@ -16,6 +16,7 @@ import (
 	"robustify/internal/fpu"
 	"robustify/internal/harness"
 	"robustify/internal/linalg"
+	"robustify/internal/robust"
 	"robustify/internal/solver"
 )
 
@@ -132,21 +133,27 @@ func Workloads() []Workload {
 		{
 			Name: "lp/apsp", Desc: "penalty-LP all-pairs shortest paths mean relative error (n=5)",
 			DefaultIters: 2000,
-			Knobs: []Knob{
+			Knobs: append([]Knob{
 				{
 					Name: "mu", Desc: "exact-penalty weight (core/lp PenaltyLP)",
 					Default: 8, Min: 1e-6, Max: 1e6,
 					Grid: []float64{1, 2, 4, 8, 16, 32},
 				},
-			},
+			}, lossKnobs("legacy l1 exact penalty")...),
 			Build: func(iters int, params map[string]float64) harness.TrialFunc {
 				mu := params["mu"]
+				lossIdx, lossShape := lossSelector(params)
 				return func(rate float64, seed uint64) float64 {
 					rng := rand.New(rand.NewSource(int64(seed)))
 					inst := apsp.RandomInstance(rng, 5, 5, 5)
 					u := fpu.New(fpu.WithFaultRate(rate, seed))
+					loss, err := lossForTrial(lossIdx, lossShape)
+					if err != nil {
+						return 1e6
+					}
 					d, _, err := inst.Robust(u, apsp.Options{
 						Iters: iters, Kind: core.PenaltyAbs, Mu: mu, Tail: iters / 5,
+						Loss: loss,
 					})
 					if err != nil {
 						return 1e6
@@ -158,24 +165,30 @@ func Workloads() []Workload {
 		{
 			Name: "leastsq/sgd", Desc: "robust SGD least squares relative error (A 30x6)",
 			DefaultIters: 400,
-			Knobs: []Knob{
+			Knobs: append([]Knob{
 				{
 					Name: "boost", Desc: "LS schedule constant: eta0 = boost/lipschitz (1/t decay)",
 					Default: 8, Min: 1e-3, Max: 1e3,
 					Grid: []float64{1, 2, 4, 8, 16, 32},
 				},
-			},
+			}, lossKnobs("quadratic objective, bit-identical to the pre-loss solver")...),
 			Build: func(iters int, params map[string]float64) harness.TrialFunc {
 				boost := params["boost"]
+				lossIdx, lossShape := lossSelector(params)
 				return func(rate float64, seed uint64) float64 {
 					inst, err := lsqInstance(seed)
 					if err != nil {
 						return 1e6
 					}
 					u := fpu.New(fpu.WithFaultRate(rate, seed))
+					loss, err := lossForTrial(lossIdx, lossShape)
+					if err != nil {
+						return 1e6
+					}
 					x, _, err := inst.SolveSGD(u, leastsq.SGDOptions{
 						Iters:    iters,
 						Schedule: inst.LinearSchedule(boost),
+						Loss:     loss,
 					})
 					if err != nil {
 						return 1e6
@@ -187,7 +200,7 @@ func Workloads() []Workload {
 		{
 			Name: "leastsq/cg", Desc: "conjugate gradient least squares relative error (A 30x6); the budget knob sets CG iterations (Iters is unused)",
 			DefaultIters: 0,
-			Knobs: []Knob{
+			Knobs: append([]Knob{
 				{
 					Name: "budget", Desc: "CG iteration budget (solver/cg)",
 					Default: 10, Min: 1, Max: 1000,
@@ -198,17 +211,34 @@ func Workloads() []Workload {
 					Default: 0, Min: 0, Max: 1000,
 					Grid: []float64{0, 2, 5},
 				},
-			},
+				{
+					Name: "outer", Desc: "IRLS reweighting rounds (used when loss > 0)",
+					Default: 4, Min: 1, Max: 100,
+					Grid: []float64{1, 2, 4, 8},
+				},
+			}, lossKnobs("plain CG on the normal equations, bit-identical to the pre-loss solver")...),
 			Build: func(_ int, params map[string]float64) harness.TrialFunc {
 				budget := intParam(params, "budget")
 				restart := intParam(params, "restart")
+				outer := intParam(params, "outer")
+				lossIdx, lossShape := lossSelector(params)
 				return func(rate float64, seed uint64) float64 {
 					inst, err := lsqInstance(seed)
 					if err != nil {
 						return 1e6
 					}
 					u := fpu.New(fpu.WithFaultRate(rate, seed))
-					x, _, err := inst.SolveCG(u, budget, restart)
+					var x []float64
+					if lossIdx == 0 {
+						x, _, err = inst.SolveCG(u, budget, restart)
+					} else {
+						var loss robust.Robustifier
+						loss, err = lossForTrial(lossIdx, lossShape)
+						if err != nil {
+							return 1e6
+						}
+						x, _, err = inst.SolveIRLS(u, loss, outer, budget, restart)
+					}
 					if err != nil {
 						return 1e6
 					}
@@ -220,7 +250,7 @@ func Workloads() []Workload {
 			Name: "svm/robust", Desc: "robust Pegasos SVM held-out accuracy (60 train / 100 test, d=6)",
 			DefaultIters: 500,
 			Maximize:     true,
-			Knobs: []Knob{
+			Knobs: append([]Knob{
 				{
 					Name: "lambda", Desc: "hinge-loss regularization weight",
 					Default: 0.01, Min: 1e-6, Max: 10,
@@ -231,17 +261,23 @@ func Workloads() []Workload {
 					Default: 1, Min: 1e-3, Max: 1e3,
 					Grid: []float64{0.25, 0.5, 1, 2, 4},
 				},
-			},
+			}, lossKnobs("plain hinge, bit-identical to the pre-loss trainer")...),
 			Build: func(iters int, params map[string]float64) harness.TrialFunc {
 				lambda, step := params["lambda"], params["step"]
+				lossIdx, lossShape := lossSelector(params)
 				return func(rate float64, seed uint64) float64 {
 					rng := rand.New(rand.NewSource(int64(seed)))
 					data := svm.TwoGaussians(rng, 60, 100, 6, 2.0)
 					u := fpu.New(fpu.WithFaultRate(rate, seed))
+					loss, err := lossForTrial(lossIdx, lossShape)
+					if err != nil {
+						return 0
+					}
 					w, _, err := svm.Train(u, data, svm.Options{
 						Iters:    iters,
 						Lambda:   lambda,
 						Schedule: solver.Linear(step / lambda),
+						Loss:     loss,
 					})
 					if err != nil {
 						return 0
@@ -330,6 +366,40 @@ func (w Workload) knobNames() []string {
 // intParam reads a knob that semantically is a count.
 func intParam(params map[string]float64, name string) int {
 	return int(math.Round(params[name]))
+}
+
+// lossKnobs declares the robust-loss knob pair shared by the loss-aware
+// workloads. Knob value 0 selects the workload's legacy objective
+// (legacyDesc names it); 1–4 select the internal/robust losses in
+// registry order.
+func lossKnobs(legacyDesc string) []Knob {
+	return []Knob{
+		{
+			Name: "loss", Desc: "robust loss: 0=" + legacyDesc + ", 1=huber, 2=pseudo-huber, 3=geman-mcclure, 4=smooth-l1",
+			Default: 0, Min: 0, Max: 4,
+			Grid: []float64{0, 1, 2, 3, 4},
+		},
+		{
+			Name: "shape", Desc: "loss shape (huber/pseudo-huber delta, geman-mcclure sigma, smooth-l1 epsilon); 0 = the loss's default",
+			Default: 0, Min: 0, Max: 1e6,
+			Grid: []float64{0, 0.1, 0.5, 1, 2.5},
+		},
+	}
+}
+
+// lossSelector extracts the loss knob pair from resolved parameters.
+func lossSelector(params map[string]float64) (idx int, shape float64) {
+	return intParam(params, "loss"), params["shape"]
+}
+
+// lossForTrial builds the selected robust loss fresh for one trial (a
+// Robustifier carries mutable shape state, so trials running on parallel
+// workers must not share one). Index 0 is the legacy path: a nil loss.
+func lossForTrial(idx int, shape float64) (robust.Robustifier, error) {
+	if idx == 0 {
+		return nil, nil
+	}
+	return robust.ByIndex(idx, shape)
 }
 
 // capErr clamps error metrics so one diverged trial cannot swamp a mean

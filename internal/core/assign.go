@@ -70,11 +70,17 @@ func (a *Assignment) Cols() int { return a.w.Cols }
 // Dim implements Problem: X is optimized flattened row-major.
 func (a *Assignment) Dim() int { return a.w.Rows * a.w.Cols }
 
-// PenaltyWeight implements Annealable.
+// PenaltyWeight returns the penalty multiplier μ.
 func (a *Assignment) PenaltyWeight() float64 { return a.mu }
 
-// SetPenaltyWeight implements Annealable.
+// SetPenaltyWeight replaces the multiplier.
 func (a *Assignment) SetPenaltyWeight(mu float64) { a.mu = mu }
+
+// AnnealParam implements Annealable: the annealed parameter is μ.
+func (a *Assignment) AnnealParam() float64 { return a.mu }
+
+// SetAnnealParam implements Annealable.
+func (a *Assignment) SetAnnealParam(mu float64) { a.mu = mu }
 
 // UniformStart returns the center of the Birkhoff polytope, X₀ = 1/max(n,m)
 // everywhere — the natural unbiased initial iterate.

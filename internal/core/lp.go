@@ -6,6 +6,7 @@ import (
 
 	"robustify/internal/fpu"
 	"robustify/internal/linalg"
+	"robustify/internal/robust"
 )
 
 // LinearProgram is the constrained variational form
@@ -92,6 +93,10 @@ const (
 	// PenaltyQuad is the quadratic penalty: μ·Σh² + μ·Σ[g]₊², the form
 	// used in the paper's sorting/matching transformation (Eq 4.4).
 	PenaltyQuad
+	// PenaltyLoss applies a pluggable robust loss ρ to each violation:
+	// μ·Σρ(h) + μ·Σρ([g]₊) (see NewRobustPenaltyLP). With the quadratic
+	// Robustifier it reproduces PenaltyQuad bit-for-bit.
+	PenaltyLoss
 )
 
 // String returns the penalty kind's name.
@@ -101,6 +106,8 @@ func (k PenaltyKind) String() string {
 		return "abs"
 	case PenaltyQuad:
 		return "quad"
+	case PenaltyLoss:
+		return "loss"
 	default:
 		return "unknown"
 	}
@@ -113,6 +120,7 @@ type PenaltyLP struct {
 	u    *fpu.Unit
 	lp   LinearProgram
 	kind PenaltyKind
+	loss robust.Robustifier // non-nil iff kind == PenaltyLoss
 	mu   float64
 
 	// scratch buffers for gradient evaluation
@@ -134,10 +142,30 @@ func NewPenaltyLP(u *fpu.Unit, lp LinearProgram, kind PenaltyKind, mu float64) (
 	if kind != PenaltyAbs && kind != PenaltyQuad {
 		return nil, fmt.Errorf("%w: unknown penalty kind %d", ErrBadProgram, kind)
 	}
+	return newPenaltyLP(u, lp, kind, nil, mu)
+}
+
+// NewRobustPenaltyLP converts lp into unconstrained penalty form with each
+// violation scored by the robust loss ρ: μ·Σρ(h) + μ·Σρ([g]₊). With the
+// quadratic Robustifier the op sequence — and hence every per-seed outcome —
+// is identical to NewPenaltyLP with PenaltyQuad; bounded-influence losses
+// (Huber, Geman–McClure, …) cap how hard a single corrupted constraint row
+// can yank the iterate.
+func NewRobustPenaltyLP(u *fpu.Unit, lp LinearProgram, loss robust.Robustifier, mu float64) (*PenaltyLP, error) {
+	if err := lp.Validate(); err != nil {
+		return nil, err
+	}
+	if loss == nil {
+		return nil, fmt.Errorf("%w: nil robust loss", ErrBadProgram)
+	}
+	return newPenaltyLP(u, lp, PenaltyLoss, loss, mu)
+}
+
+func newPenaltyLP(u *fpu.Unit, lp LinearProgram, kind PenaltyKind, loss robust.Robustifier, mu float64) (*PenaltyLP, error) {
 	if mu <= 0 {
 		return nil, fmt.Errorf("%w: penalty weight must be positive", ErrBadProgram)
 	}
-	p := &PenaltyLP{u: u, lp: lp, kind: kind, mu: mu}
+	p := &PenaltyLP{u: u, lp: lp, kind: kind, loss: loss, mu: mu}
 	if lp.Ineq != nil {
 		p.ri = make([]float64, lp.Ineq.Rows)
 	}
@@ -156,14 +184,23 @@ func (p *PenaltyLP) LP() *LinearProgram { return &p.lp }
 // Kind returns the penalty flavour.
 func (p *PenaltyLP) Kind() PenaltyKind { return p.kind }
 
+// Loss returns the robust loss for PenaltyLoss programs, nil otherwise.
+func (p *PenaltyLP) Loss() robust.Robustifier { return p.loss }
+
 // Dim implements Problem.
 func (p *PenaltyLP) Dim() int { return p.lp.Dim() }
 
-// PenaltyWeight implements Annealable.
+// PenaltyWeight returns the penalty multiplier μ.
 func (p *PenaltyLP) PenaltyWeight() float64 { return p.mu }
 
-// SetPenaltyWeight implements Annealable.
+// SetPenaltyWeight replaces the multiplier.
 func (p *PenaltyLP) SetPenaltyWeight(mu float64) { p.mu = mu }
+
+// AnnealParam implements Annealable: the annealed parameter is μ.
+func (p *PenaltyLP) AnnealParam() float64 { return p.mu }
+
+// SetAnnealParam implements Annealable.
+func (p *PenaltyLP) SetAnnealParam(mu float64) { p.mu = mu }
 
 // Grad implements Problem: ∇f = c + μ·Σ penalty terms, computed on the
 // stochastic FPU.
@@ -182,8 +219,11 @@ func (p *PenaltyLP) valueOn(u *fpu.Unit, x []float64) float64 {
 		p.lp.Ineq.MulVec(u, x, p.ri)
 		for i, r := range p.ri {
 			viol := u.Hinge(u.Sub(r, p.lp.BIneq[i]))
-			if p.kind == PenaltyQuad {
+			switch p.kind {
+			case PenaltyQuad:
 				viol = u.Mul(viol, viol)
+			case PenaltyLoss:
+				viol = p.loss.Rho(u, viol)
 			}
 			v = u.Add(v, u.Mul(p.mu, viol))
 		}
@@ -192,9 +232,12 @@ func (p *PenaltyLP) valueOn(u *fpu.Unit, x []float64) float64 {
 		p.lp.Eq.MulVec(u, x, p.re)
 		for i, r := range p.re {
 			d := u.Sub(r, p.lp.BEq[i])
-			if p.kind == PenaltyQuad {
+			switch p.kind {
+			case PenaltyQuad:
 				d = u.Mul(d, d)
-			} else {
+			case PenaltyLoss:
+				d = p.loss.Rho(u, d)
+			default:
 				d = u.Abs(d)
 			}
 			v = u.Add(v, u.Mul(p.mu, d))
@@ -215,10 +258,13 @@ func (p *PenaltyLP) gradOn(u *fpu.Unit, x, grad []float64) {
 			if viol == 0 {
 				continue
 			}
-			// abs: +μ·row; quad: +2μ·viol·row
+			// abs: +μ·row; quad: +2μ·viol·row; loss: +2μ·ψ(viol)·row
 			w := p.mu
-			if p.kind == PenaltyQuad {
+			switch p.kind {
+			case PenaltyQuad:
 				w = u.Mul(u.Mul(2, p.mu), viol)
+			case PenaltyLoss:
+				w = u.Mul(u.Mul(2, p.mu), p.loss.Psi(u, viol))
 			}
 			linalg.Axpy(u, w, p.lp.Ineq.Row(i), grad)
 		}
@@ -231,11 +277,14 @@ func (p *PenaltyLP) gradOn(u *fpu.Unit, x, grad []float64) {
 				continue
 			}
 			var w float64
-			if p.kind == PenaltyQuad {
+			switch {
+			case p.kind == PenaltyQuad:
 				w = u.Mul(u.Mul(2, p.mu), d)
-			} else if d > 0 { // sign-bit read: reliable, like Hinge
+			case p.kind == PenaltyLoss:
+				w = u.Mul(u.Mul(2, p.mu), p.loss.Psi(u, d))
+			case d > 0: // sign-bit read: reliable, like Hinge
 				w = p.mu
-			} else {
+			default:
 				w = -p.mu
 			}
 			linalg.Axpy(u, w, p.lp.Eq.Row(i), grad)

@@ -73,11 +73,17 @@ func (p *PreconditionedLP) Value(y []float64) float64 { return p.inner.Value(y) 
 // FPU returns the stochastic unit gradients are evaluated on.
 func (p *PreconditionedLP) FPU() *fpu.Unit { return p.inner.FPU() }
 
-// PenaltyWeight implements Annealable.
+// PenaltyWeight returns the penalty multiplier μ.
 func (p *PreconditionedLP) PenaltyWeight() float64 { return p.inner.PenaltyWeight() }
 
-// SetPenaltyWeight implements Annealable.
+// SetPenaltyWeight replaces the multiplier.
 func (p *PreconditionedLP) SetPenaltyWeight(mu float64) { p.inner.SetPenaltyWeight(mu) }
+
+// AnnealParam implements Annealable: the annealed parameter is μ.
+func (p *PreconditionedLP) AnnealParam() float64 { return p.inner.AnnealParam() }
+
+// SetAnnealParam implements Annealable.
+func (p *PreconditionedLP) SetAnnealParam(mu float64) { p.inner.SetAnnealParam(mu) }
 
 // InitialY implements Preconditioned: y₀ = R·x₀ (reliable setup).
 func (p *PreconditionedLP) InitialY(x0 []float64) []float64 {

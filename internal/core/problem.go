@@ -34,13 +34,20 @@ type Problem interface {
 	Value(x []float64) float64
 }
 
-// Annealable is implemented by penalty-form problems whose constraint
-// weight μ can be raised as the solver approaches the optimum (§6.2.4).
+// Annealable is implemented by problems with a scalar loss parameter the
+// solver may anneal over the run (§6.2.4, generalized): the penalty
+// multiplier μ of a penalty form (raised as the solver closes in, to
+// sharpen the constraint walls), or the shape parameter of a robust loss
+// — Huber/pseudo-Huber δ, Geman–McClure σ — shrunk toward robustness in
+// the graduated-non-convexity style. A zero AnnealParam means the problem
+// currently has nothing to anneal (e.g. a quadratic loss, which has no
+// shape); the solver skips it.
 type Annealable interface {
-	// PenaltyWeight returns the current multiplier μ on the penalty terms.
-	PenaltyWeight() float64
-	// SetPenaltyWeight replaces the multiplier.
-	SetPenaltyWeight(mu float64)
+	// AnnealParam returns the current annealable parameter, or 0 when
+	// there is none.
+	AnnealParam() float64
+	// SetAnnealParam replaces the parameter (reliable control path).
+	SetAnnealParam(v float64)
 }
 
 // Preconditioned is implemented by problems that optimize in a transformed

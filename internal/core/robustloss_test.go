@@ -1,0 +1,150 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"robustify/internal/fpu"
+	"robustify/internal/linalg"
+	"robustify/internal/robust"
+)
+
+// These tests pin the bit-identity contract of the robust-loss layer: with
+// the quadratic loss, the generalized paths must replay the legacy op
+// sequence exactly — same FLOP count, same scheduled faults, same bits out.
+
+func randomDense(rng *rand.Rand, rows, cols int) *linalg.Dense {
+	m := linalg.NewDense(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			m.Set(i, j, rng.NormFloat64())
+		}
+	}
+	return m
+}
+
+func randomVec(rng *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+func TestRobustQuadraticLeastSquaresBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	a := randomDense(rng, 12, 5)
+	b := randomVec(rng, 12)
+	x := randomVec(rng, 5)
+
+	eval := func(loss robust.Robustifier) ([]float64, float64, uint64) {
+		u := fpu.New(fpu.WithFaultRate(0.2, 99))
+		p, err := NewRobustLeastSquares(u, a, b, loss)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grad := make([]float64, 5)
+		for k := 0; k < 20; k++ {
+			p.Grad(x, grad)
+		}
+		return grad, p.Value(x), u.FLOPs()
+	}
+
+	quadLoss, err := robust.New(robust.Quadratic, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacyGrad, legacyVal, legacyFlops := eval(nil)
+	robustGrad, robustVal, robustFlops := eval(quadLoss)
+
+	if legacyFlops != robustFlops {
+		t.Errorf("FLOPs diverged: legacy %d, robust-quadratic %d", legacyFlops, robustFlops)
+	}
+	for i := range legacyGrad {
+		if legacyGrad[i] != robustGrad[i] && !(math.IsNaN(legacyGrad[i]) && math.IsNaN(robustGrad[i])) {
+			t.Fatalf("grad[%d]: legacy %v, robust-quadratic %v", i, legacyGrad[i], robustGrad[i])
+		}
+	}
+	if legacyVal != robustVal {
+		t.Errorf("Value: legacy %v, robust-quadratic %v", legacyVal, robustVal)
+	}
+}
+
+func TestRobustQuadraticPenaltyLPBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	lp := LinearProgram{
+		C:     randomVec(rng, 4),
+		Ineq:  randomDense(rng, 6, 4),
+		BIneq: randomVec(rng, 6),
+		Eq:    randomDense(rng, 2, 4),
+		BEq:   randomVec(rng, 2),
+	}
+	x := randomVec(rng, 4)
+
+	eval := func(build func(u *fpu.Unit) (*PenaltyLP, error)) ([]float64, float64, uint64) {
+		u := fpu.New(fpu.WithFaultRate(0.2, 17))
+		p, err := build(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grad := make([]float64, 4)
+		for k := 0; k < 20; k++ {
+			p.Grad(x, grad)
+		}
+		return grad, p.Value(x), u.FLOPs()
+	}
+
+	legacyGrad, legacyVal, legacyFlops := eval(func(u *fpu.Unit) (*PenaltyLP, error) {
+		return NewPenaltyLP(u, lp, PenaltyQuad, 3)
+	})
+	robustGrad, robustVal, robustFlops := eval(func(u *fpu.Unit) (*PenaltyLP, error) {
+		loss, err := robust.New(robust.Quadratic, 0)
+		if err != nil {
+			return nil, err
+		}
+		return NewRobustPenaltyLP(u, lp, loss, 3)
+	})
+
+	if legacyFlops != robustFlops {
+		t.Errorf("FLOPs diverged: quad %d, loss-quadratic %d", legacyFlops, robustFlops)
+	}
+	for i := range legacyGrad {
+		if legacyGrad[i] != robustGrad[i] && !(math.IsNaN(legacyGrad[i]) && math.IsNaN(robustGrad[i])) {
+			t.Fatalf("grad[%d]: quad %v, loss-quadratic %v", i, legacyGrad[i], robustGrad[i])
+		}
+	}
+	if legacyVal != robustVal {
+		t.Errorf("Value: quad %v, loss-quadratic %v", legacyVal, robustVal)
+	}
+}
+
+func TestRobustLeastSquaresHuberBoundsGradient(t *testing.T) {
+	// The reason the subsystem exists: one corrupted observation must not
+	// dominate the gradient. Plant a wild outlier in b and compare the
+	// gradient row pull under quadratic vs Huber on a reliable unit.
+	rng := rand.New(rand.NewSource(3))
+	a := randomDense(rng, 10, 3)
+	b := randomVec(rng, 10)
+	b[4] = 1e8 // corrupted observation
+	x := randomVec(rng, 3)
+
+	gradFor := func(loss robust.Robustifier) []float64 {
+		p, err := NewRobustLeastSquares(nil, a, b, loss)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := make([]float64, 3)
+		p.Grad(x, g)
+		return g
+	}
+	huber, err := robust.New(robust.Huber, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gq := linalg.Norm2(nil, gradFor(nil))
+	gh := linalg.Norm2(nil, gradFor(huber))
+	if !(gh < gq/1e4) {
+		t.Errorf("huber gradient norm %v not ≪ quadratic %v under outlier", gh, gq)
+	}
+}

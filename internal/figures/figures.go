@@ -73,6 +73,7 @@ func All() []struct {
 		{"faultmodel", "Ch.7 ablation: robust sort under different fault models", FaultModelAblation},
 		{"penalty", "design ablation: l1 vs quadratic exact penalty on graph LPs", PenaltyAblation},
 		{"svm", "§4.7 extension: robust SVM training vs perceptron", SVMExtension},
+		{"robustloss", "robust-loss ablation: residual loss vs fault rate on least squares", RobustLossFigure},
 		{"graphlp", "§4.5/§4.6: max-flow and APSP LPs vs conventional baselines", GraphLP},
 		{"eigen", "§4.7 extension: dominant eigenpair vs power iteration", Eigenpairs},
 	}

@@ -7,7 +7,7 @@ import (
 )
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"5.1", "5.2", "6.1", "6.2", "6.3", "6.4", "6.5", "6.6", "6.7", "momentum", "flops", "faultmodel", "penalty", "svm", "graphlp", "eigen"}
+	want := []string{"5.1", "5.2", "6.1", "6.2", "6.3", "6.4", "6.5", "6.6", "6.7", "momentum", "flops", "faultmodel", "penalty", "svm", "robustloss", "graphlp", "eigen"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d figures, want %d", len(all), len(want))

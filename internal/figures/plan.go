@@ -77,6 +77,7 @@ func planBuilders() map[string]func(Config) *Plan {
 		"faultmodel": planFaultModel,
 		"penalty":    planPenalty,
 		"svm":        planSVM,
+		"robustloss": planRobustLoss,
 		"graphlp":    planGraphLP,
 		"eigen":      planEigen,
 	}

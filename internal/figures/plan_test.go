@@ -6,7 +6,7 @@ import (
 )
 
 func TestPlanIDsCoverSweepFigures(t *testing.T) {
-	want := []string{"6.1", "6.2", "6.3", "6.4", "6.5", "6.6", "momentum", "faultmodel", "penalty", "svm", "graphlp", "eigen"}
+	want := []string{"6.1", "6.2", "6.3", "6.4", "6.5", "6.6", "momentum", "faultmodel", "penalty", "svm", "robustloss", "graphlp", "eigen"}
 	got := PlanIDs()
 	if len(got) != len(want) {
 		t.Fatalf("PlanIDs = %v, want %v", got, want)

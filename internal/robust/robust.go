@@ -1,0 +1,271 @@
+// Package robust implements bounded-influence robust losses — the
+// robust-estimation family (Huber, pseudo-Huber, Geman–McClure, smoothed
+// L1) — as pluggable Robustifiers for the repository's penalty forms and
+// solvers.
+//
+// The paper robustifies applications through a single quadratic penalty,
+// but bit-flip faults produce heavy-tailed residual errors (an exponent
+// flip turns a unit-scale residual into 1e300): exactly the outlier
+// distribution bounded-influence losses were designed for. A Robustifier
+// clips how hard one corrupted residual can pull the iterate, so the solver
+// keeps converging at fault rates where the quadratic loss is dragged off
+// by a single flipped exponent bit.
+//
+// Every floating point operation of every loss routes through an fpu.Unit,
+// so faults inject inside the loss evaluation itself — the loss is part of
+// the simulated machine, not a reliable oracle. A nil unit evaluates
+// exactly, which is how the reliable control path (solver.Options.Value,
+// IRLS convergence metrics) uses the same code.
+//
+// Normalization convention: Rho uses the paper's unhalved quadratic form,
+// ρ_quad(r) = r² (matching core.LeastSquares' ‖Ax−b‖² objective and the
+// quadratic exact penalty μ·Σh²), and Psi is the half-gradient ψ = ρ′/2 —
+// the form the solvers consume: least squares folds the conventional
+// factor 2 into the step size (ψ_quad(r) = r reproduces the existing
+// gradient Aᵀ(Ax−b) bit-for-bit), and the penalty forms reintroduce it
+// explicitly (gradient weight 2μ·ψ). Weight is the IRLS weight
+// w(r) = ψ(r)/r with the r → 0 limit, so reweighted normal equations
+// AᵀWA·x = AᵀW·b minimize Σ ρ(aᵢ·x − bᵢ).
+package robust
+
+import (
+	"fmt"
+
+	"robustify/internal/fpu"
+)
+
+// Kind names a robust loss.
+type Kind string
+
+// The loss family. Quadratic reproduces the paper's behavior exactly
+// (bit-identical per seed: its Psi and Weight issue zero FPU operations);
+// the rest bound the influence of large residuals.
+const (
+	Quadratic    Kind = "quadratic"
+	Huber        Kind = "huber"
+	PseudoHuber  Kind = "pseudo-huber"
+	GemanMcClure Kind = "geman-mcclure"
+	SmoothL1     Kind = "smooth-l1"
+)
+
+// Kinds lists the loss family in knob-index order (see ByIndex).
+func Kinds() []Kind {
+	return []Kind{Quadratic, Huber, PseudoHuber, GemanMcClure, SmoothL1}
+}
+
+// Robustifier is a pluggable robust loss ρ applied to scalar residuals.
+// Implementations route every floating point operation through the given
+// fpu.Unit (nil = exact), so the loss itself is exposed to fault
+// injection. Implementations are not safe for concurrent use when the
+// shape parameter is annealed mid-solve; like fpu.Unit, each worker owns
+// its own instance.
+type Robustifier interface {
+	// Kind returns the loss's registry name.
+	Kind() Kind
+	// Shape returns the loss's shape parameter: the Huber and pseudo-Huber
+	// transition scale δ, the Geman–McClure scale σ, the smoothed-L1
+	// smoothing radius ε. Quadratic has no shape and returns 0.
+	Shape() float64
+	// SetShape replaces the shape parameter (reliable control path; the
+	// solver's annealing hook). It is a no-op for shapeless losses.
+	SetShape(s float64)
+	// Rho evaluates the loss ρ(r) on u (ρ(0) = 0, symmetric,
+	// nondecreasing in |r|; quadratic normalization ρ_quad = r²).
+	Rho(u *fpu.Unit, r float64) float64
+	// Psi evaluates the influence function ψ(r) = ρ′(r)/2 on u
+	// (ψ_quad(r) = r, the solvers' step-folded gradient convention).
+	Psi(u *fpu.Unit, r float64) float64
+	// Weight evaluates the IRLS weight w(r) = ψ(r)/r on u, with the
+	// finite r → 0 limit (w_quad ≡ 1).
+	Weight(u *fpu.Unit, r float64) float64
+}
+
+// DefaultShape returns the shape parameter a kind gets when the caller
+// passes shape ≤ 0: the transition scales default to the unit residual
+// scale; the smoothed-L1 radius sits below it so the loss stays
+// L1-shaped where residuals carry signal.
+func DefaultShape(kind Kind) float64 {
+	switch kind {
+	case SmoothL1:
+		return 0.1
+	case Quadratic:
+		return 0
+	default:
+		return 1
+	}
+}
+
+// New returns a Robustifier of the given kind. A shape ≤ 0 picks
+// DefaultShape(kind); quadratic ignores the shape entirely.
+func New(kind Kind, shape float64) (Robustifier, error) {
+	if kind != Quadratic && shape <= 0 {
+		shape = DefaultShape(kind)
+	}
+	switch kind {
+	case Quadratic:
+		return &quadratic{}, nil
+	case Huber:
+		return &huber{delta: shape}, nil
+	case PseudoHuber:
+		return &pseudoHuber{delta: shape}, nil
+	case GemanMcClure:
+		return &gemanMcClure{sigma: shape}, nil
+	case SmoothL1:
+		return &smoothL1{eps: shape}, nil
+	default:
+		return nil, fmt.Errorf("robust: unknown loss kind %q (known: %v)", kind, Kinds())
+	}
+}
+
+// ByIndex resolves a loss by its knob index — the encoding workload loss
+// selectors use, since campaign knobs are float64-valued: 0 = quadratic,
+// 1 = huber, 2 = pseudo-huber, 3 = geman-mcclure, 4 = smooth-l1.
+func ByIndex(i int, shape float64) (Robustifier, error) {
+	kinds := Kinds()
+	if i < 0 || i >= len(kinds) {
+		return nil, fmt.Errorf("robust: loss index %d out of range [0, %d]", i, len(kinds)-1)
+	}
+	return New(kinds[i], shape)
+}
+
+// quadratic is the paper's loss: ρ = r², ψ = r, w = 1. Psi and Weight
+// deliberately issue no FPU operations — the identity and the constant 1
+// are wires, not datapath results — so routing the existing solvers
+// through a quadratic Robustifier leaves the fault stream, FLOP counters,
+// and therefore every per-seed output bit-identical to the direct code
+// path (pinned by tests in core and solver).
+type quadratic struct{}
+
+func (quadratic) Kind() Kind         { return Quadratic }
+func (quadratic) Shape() float64     { return 0 }
+func (quadratic) SetShape(s float64) {}
+
+func (quadratic) Rho(u *fpu.Unit, r float64) float64 { return u.Mul(r, r) }
+
+func (quadratic) Psi(u *fpu.Unit, r float64) float64 { return r }
+
+func (quadratic) Weight(u *fpu.Unit, r float64) float64 { return 1 }
+
+// huber is the classic bounded-influence loss: quadratic inside |r| ≤ δ,
+// linear outside, so one corrupted residual pulls the gradient by at most
+// δ. ρ = r² inside, 2δ|r| − δ² outside; ψ = r inside, δ·sign(r) outside;
+// w = 1 inside, δ/|r| outside.
+type huber struct{ delta float64 }
+
+func (h *huber) Kind() Kind         { return Huber }
+func (h *huber) Shape() float64     { return h.delta }
+func (h *huber) SetShape(s float64) { h.delta = s }
+
+// inTail reports |r| > δ. The comparison runs on u's compare unit: the
+// region decision is part of the simulated loss datapath, so a timing
+// fault can misclassify a residual — exactly like any other corrupted
+// FLOP, and recoverable the same way.
+func (h *huber) inTail(u *fpu.Unit, r float64) bool {
+	return u.Less(h.delta, u.Abs(r))
+}
+
+func (h *huber) Rho(u *fpu.Unit, r float64) float64 {
+	if !h.inTail(u, r) {
+		return u.Mul(r, r)
+	}
+	return u.Sub(u.Mul(u.Mul(2, h.delta), u.Abs(r)), u.Mul(h.delta, h.delta))
+}
+
+func (h *huber) Psi(u *fpu.Unit, r float64) float64 {
+	if !h.inTail(u, r) {
+		return r
+	}
+	if r > 0 { // sign-bit read: reliable, like fpu.Unit.Abs
+		return h.delta
+	}
+	return u.Neg(h.delta)
+}
+
+func (h *huber) Weight(u *fpu.Unit, r float64) float64 {
+	if !h.inTail(u, r) {
+		return 1
+	}
+	return u.Div(h.delta, u.Abs(r))
+}
+
+// pseudoHuber is the smooth Huber variant: ρ = 2δ²(√(1+(r/δ)²) − 1),
+// everywhere differentiable, ψ = r/√(1+(r/δ)²) bounded by δ. Its IRLS
+// weights never hit a hard transition, which keeps reweighted CG stable.
+type pseudoHuber struct{ delta float64 }
+
+func (p *pseudoHuber) Kind() Kind         { return PseudoHuber }
+func (p *pseudoHuber) Shape() float64     { return p.delta }
+func (p *pseudoHuber) SetShape(s float64) { p.delta = s }
+
+// slope evaluates √(1+(r/δ)²) on u, the shared core of all three forms.
+func (p *pseudoHuber) slope(u *fpu.Unit, r float64) float64 {
+	t := u.Div(r, p.delta)
+	return u.Sqrt(u.Add(1, u.Mul(t, t)))
+}
+
+func (p *pseudoHuber) Rho(u *fpu.Unit, r float64) float64 {
+	s := p.slope(u, r)
+	return u.Mul(u.Mul(2, u.Mul(p.delta, p.delta)), u.Sub(s, 1))
+}
+
+func (p *pseudoHuber) Psi(u *fpu.Unit, r float64) float64 {
+	return u.Div(r, p.slope(u, r))
+}
+
+func (p *pseudoHuber) Weight(u *fpu.Unit, r float64) float64 {
+	return u.Div(1, p.slope(u, r))
+}
+
+// gemanMcClure is the redescending loss: ρ = σ²r²/(σ² + r²) saturates at
+// σ², so ψ → 0 for huge residuals — an exponent-flipped residual is not
+// merely clipped but ignored. The price is non-convexity: it needs a
+// decent basin (or shape annealing from large σ) to converge.
+type gemanMcClure struct{ sigma float64 }
+
+func (g *gemanMcClure) Kind() Kind         { return GemanMcClure }
+func (g *gemanMcClure) Shape() float64     { return g.sigma }
+func (g *gemanMcClure) SetShape(s float64) { g.sigma = s }
+
+func (g *gemanMcClure) Rho(u *fpu.Unit, r float64) float64 {
+	s2 := u.Mul(g.sigma, g.sigma)
+	r2 := u.Mul(r, r)
+	return u.Div(u.Mul(s2, r2), u.Add(s2, r2))
+}
+
+func (g *gemanMcClure) Psi(u *fpu.Unit, r float64) float64 {
+	return u.Mul(g.Weight(u, r), r)
+}
+
+func (g *gemanMcClure) Weight(u *fpu.Unit, r float64) float64 {
+	s2 := u.Mul(g.sigma, g.sigma)
+	den := u.Add(s2, u.Mul(r, r))
+	return u.Div(u.Mul(s2, s2), u.Mul(den, den))
+}
+
+// smoothL1 is the smoothed absolute loss: ρ = 2(√(r² + ε²) − ε) → 2|r|
+// as ε → 0, with ψ = r/√(r² + ε²) bounded by 1 — the steepest loss whose
+// influence is independent of residual magnitude. Unlike the exact ℓ1
+// penalty (core.PenaltyAbs) it is differentiable at 0 and IRLS-weightable
+// (w = 1/√(r² + ε²), capped at 1/ε).
+type smoothL1 struct{ eps float64 }
+
+func (s *smoothL1) Kind() Kind         { return SmoothL1 }
+func (s *smoothL1) Shape() float64     { return s.eps }
+func (s *smoothL1) SetShape(v float64) { s.eps = v }
+
+// root evaluates √(r² + ε²) on u.
+func (s *smoothL1) root(u *fpu.Unit, r float64) float64 {
+	return u.Sqrt(u.Add(u.Mul(r, r), u.Mul(s.eps, s.eps)))
+}
+
+func (s *smoothL1) Rho(u *fpu.Unit, r float64) float64 {
+	return u.Mul(2, u.Sub(s.root(u, r), s.eps))
+}
+
+func (s *smoothL1) Psi(u *fpu.Unit, r float64) float64 {
+	return u.Div(r, s.root(u, r))
+}
+
+func (s *smoothL1) Weight(u *fpu.Unit, r float64) float64 {
+	return u.Div(1, s.root(u, r))
+}

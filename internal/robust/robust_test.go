@@ -1,0 +1,269 @@
+package robust
+
+import (
+	"math"
+	"testing"
+
+	"robustify/internal/fpu"
+)
+
+// shaped returns every loss at the given shape, plus quadratic.
+func shaped(t *testing.T, shape float64) []Robustifier {
+	t.Helper()
+	var out []Robustifier
+	for _, k := range Kinds() {
+		r, err := New(k, shape)
+		if err != nil {
+			t.Fatalf("New(%s, %v): %v", k, shape, err)
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// probe residuals: zero, interior, the shape-transition neighborhood, and
+// the heavy tail a flipped exponent bit produces.
+var probes = []float64{0, 1e-9, 0.03, 0.5, 0.999, 1, 1.001, 2.5, 17, 1e3, 1e9, 1e100}
+
+func TestPsiIsHalfRhoDerivative(t *testing.T) {
+	// ψ = ρ′/2 by the package's normalization convention: central
+	// difference of Rho must match 2·Psi on a reliable unit. Skip the
+	// huber transition kink (one-sided derivatives differ) and points
+	// where the step underflows the residual.
+	for _, loss := range shaped(t, 1) {
+		for _, r := range probes {
+			if r > 1e12 { // derivative ~0 or step vanishes in ulps
+				continue
+			}
+			h := 1e-6 * math.Max(1, math.Abs(r))
+			if loss.Kind() == Huber && math.Abs(math.Abs(r)-loss.Shape()) < 2*h {
+				continue
+			}
+			got := (loss.Rho(nil, r+h) - loss.Rho(nil, r-h)) / (2 * h)
+			want := 2 * loss.Psi(nil, r)
+			tol := 1e-4 * math.Max(1, math.Abs(want))
+			if math.Abs(got-want) > tol {
+				t.Errorf("%s: dRho/dr(%g) = %g, want 2*Psi = %g", loss.Kind(), r, got, want)
+			}
+		}
+	}
+}
+
+func TestWeightTimesResidualIsPsi(t *testing.T) {
+	for _, loss := range shaped(t, 1) {
+		for _, r := range probes {
+			got := loss.Weight(nil, r) * r
+			want := loss.Psi(nil, r)
+			tol := 1e-12 * math.Max(1, math.Abs(want))
+			if math.Abs(got-want) > tol {
+				t.Errorf("%s: Weight(%g)*r = %g, want Psi = %g", loss.Kind(), r, got, want)
+			}
+		}
+	}
+}
+
+func TestWeightsPositiveBoundedMonotone(t *testing.T) {
+	// IRLS weights: strictly positive, maximal at r = 0, nonincreasing in
+	// |r| — the defining property of a bounded-influence loss (quadratic
+	// is the constant-1 degenerate member).
+	for _, loss := range shaped(t, 1) {
+		w0 := loss.Weight(nil, 0)
+		if !(w0 > 0) || math.IsInf(w0, 0) {
+			t.Fatalf("%s: Weight(0) = %g, want finite positive", loss.Kind(), w0)
+		}
+		prev := w0
+		for _, r := range probes[1:] {
+			w := loss.Weight(nil, r)
+			// Strictly positive at any residual the solver could act on;
+			// at astronomical magnitudes a redescending weight may
+			// underflow to exactly 0, which IRLS treats as "ignore row".
+			if !(w > 0) && (r <= 1e9 || w != 0) {
+				t.Errorf("%s: Weight(%g) = %g, want > 0", loss.Kind(), r, w)
+			}
+			if w > prev*(1+1e-12) {
+				t.Errorf("%s: Weight(%g) = %g increases past %g", loss.Kind(), r, w, prev)
+			}
+			prev = w
+		}
+	}
+}
+
+func TestSymmetry(t *testing.T) {
+	// ρ even, ψ odd — exactly, since every implementation reaches the
+	// sign only through Abs/Neg/sign reads.
+	for _, loss := range shaped(t, 1) {
+		for _, r := range probes {
+			if rho, neg := loss.Rho(nil, r), loss.Rho(nil, -r); rho != neg {
+				t.Errorf("%s: Rho(%g) = %g but Rho(-r) = %g", loss.Kind(), r, rho, neg)
+			}
+			if psi, neg := loss.Psi(nil, r), loss.Psi(nil, -r); psi != -neg {
+				t.Errorf("%s: Psi(%g) = %g but Psi(-r) = %g", loss.Kind(), r, psi, neg)
+			}
+		}
+		if rho := loss.Rho(nil, 0); rho != 0 {
+			t.Errorf("%s: Rho(0) = %g", loss.Kind(), rho)
+		}
+		if psi := loss.Psi(nil, 0); psi != 0 {
+			t.Errorf("%s: Psi(0) = %g", loss.Kind(), psi)
+		}
+	}
+}
+
+func TestBoundedInfluence(t *testing.T) {
+	// The whole point: a corrupted residual of any magnitude pulls the
+	// gradient by a bounded amount (quadratic excepted, by design).
+	cases := []struct {
+		kind  Kind
+		shape float64
+		bound float64
+	}{
+		{Huber, 1.5, 1.5},
+		{PseudoHuber, 1.5, 1.5},
+		{SmoothL1, 0.1, 1},
+		{GemanMcClure, 1, 1}, // max |ψ| = (3√3/16)σ < σ
+	}
+	for _, c := range cases {
+		loss, err := New(c.kind, c.shape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range probes {
+			if psi := math.Abs(loss.Psi(nil, r)); psi > c.bound*(1+1e-12) {
+				t.Errorf("%s: |Psi(%g)| = %g exceeds bound %g", c.kind, r, psi, c.bound)
+			}
+		}
+		// Redescending: Geman–McClure must *ignore* astronomical residuals.
+		if c.kind == GemanMcClure {
+			if psi := math.Abs(loss.Psi(nil, 1e100)); psi > 1e-90 {
+				t.Errorf("geman-mcclure: Psi(1e100) = %g, want ~0", psi)
+			}
+		}
+	}
+}
+
+func TestQuadraticIssuesNoPsiWeightFLOPs(t *testing.T) {
+	// The bit-identity contract of the quadratic loss: Psi and Weight
+	// must not touch the unit at all, or routing the existing solvers
+	// through the loss layer would advance the fault stream and change
+	// every per-seed output.
+	u := fpu.New(fpu.WithFaultRate(0.5, 1))
+	loss, err := New(Quadratic, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := u.FLOPs()
+	for _, r := range probes {
+		if got := loss.Psi(u, r); got != r {
+			t.Fatalf("quadratic Psi(%g) = %g, want identity", r, got)
+		}
+		if got := loss.Weight(u, r); got != 1 {
+			t.Fatalf("quadratic Weight(%g) = %g, want 1", r, got)
+		}
+	}
+	if u.FLOPs() != before {
+		t.Errorf("quadratic Psi/Weight issued %d FLOPs, want 0", u.FLOPs()-before)
+	}
+	if u.Faults() != 0 {
+		t.Errorf("quadratic Psi/Weight suffered %d faults, want 0", u.Faults())
+	}
+}
+
+func TestFaultyEvaluationIsDeterministic(t *testing.T) {
+	// Faults inject inside the loss datapath, and deterministically: the
+	// same seed must yield the same (possibly corrupted) outputs.
+	for _, k := range Kinds() {
+		loss, err := New(k, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eval := func(seed uint64) []float64 {
+			u := fpu.New(fpu.WithFaultRate(0.3, seed))
+			var out []float64
+			for _, r := range probes {
+				out = append(out, loss.Rho(u, r), loss.Psi(u, r), loss.Weight(u, r))
+			}
+			return out
+		}
+		a, b := eval(7), eval(7)
+		for i := range a {
+			ai, bi := a[i], b[i]
+			if ai != bi && !(math.IsNaN(ai) && math.IsNaN(bi)) {
+				t.Fatalf("%s: faulty evaluation diverged at %d: %g vs %g", k, i, ai, bi)
+			}
+		}
+	}
+}
+
+func TestShapeRoundTripAndAnnealing(t *testing.T) {
+	for _, k := range Kinds() {
+		loss, err := New(k, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k == Quadratic {
+			if loss.Shape() != 0 {
+				t.Errorf("quadratic Shape() = %g, want 0", loss.Shape())
+			}
+			loss.SetShape(5) // must be a no-op
+			if loss.Shape() != 0 {
+				t.Errorf("quadratic Shape() after SetShape = %g, want 0", loss.Shape())
+			}
+			continue
+		}
+		if loss.Shape() != 2 {
+			t.Errorf("%s: Shape() = %g, want 2", k, loss.Shape())
+		}
+		loss.SetShape(0.5)
+		if loss.Shape() != 0.5 {
+			t.Errorf("%s: Shape() after SetShape = %g, want 0.5", k, loss.Shape())
+		}
+	}
+}
+
+func TestHuberReducesToQuadraticInCore(t *testing.T) {
+	// Inside |r| ≤ δ Huber *is* the quadratic loss, including the
+	// zero-FPU-op Psi — the δ → ∞ limit is exact, not approximate.
+	loss, err := New(Huber, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quad, err := New(Quadratic, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []float64{0, 0.5, -3, 99} {
+		if loss.Psi(nil, r) != quad.Psi(nil, r) {
+			t.Errorf("huber core Psi(%g) != quadratic", r)
+		}
+		if loss.Rho(nil, r) != quad.Rho(nil, r) {
+			t.Errorf("huber core Rho(%g) != quadratic", r)
+		}
+		if loss.Weight(nil, r) != 1 {
+			t.Errorf("huber core Weight(%g) != 1", r)
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	for i, k := range Kinds() {
+		byIdx, err := ByIndex(i, 0)
+		if err != nil {
+			t.Fatalf("ByIndex(%d): %v", i, err)
+		}
+		if byIdx.Kind() != k {
+			t.Errorf("ByIndex(%d) = %s, want %s", i, byIdx.Kind(), k)
+		}
+		if k != Quadratic && byIdx.Shape() != DefaultShape(k) {
+			t.Errorf("%s: default shape = %g, want %g", k, byIdx.Shape(), DefaultShape(k))
+		}
+	}
+	if _, err := ByIndex(len(Kinds()), 1); err == nil {
+		t.Error("ByIndex out of range: want error")
+	}
+	if _, err := ByIndex(-1, 1); err == nil {
+		t.Error("ByIndex(-1): want error")
+	}
+	if _, err := New(Kind("lorentzian"), 1); err == nil {
+		t.Error("New(unknown): want error")
+	}
+}

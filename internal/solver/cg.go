@@ -6,6 +6,7 @@ import (
 
 	"robustify/internal/fpu"
 	"robustify/internal/linalg"
+	"robustify/internal/robust"
 )
 
 // MulFunc computes dst ← M·x for the (symmetric positive definite) system
@@ -133,4 +134,97 @@ func NormalEquationsMul(u *fpu.Unit, a *linalg.Dense) MulFunc {
 		a.MulVec(u, x, tmp)
 		a.TMulVec(u, tmp, dst)
 	}
+}
+
+// WeightedNormalEquationsMul returns a MulFunc computing (AᵀWA)·x on u for a
+// diagonal weight vector w, the operator of one IRLS inner solve.
+func WeightedNormalEquationsMul(u *fpu.Unit, a *linalg.Dense, w []float64) MulFunc {
+	tmp := make([]float64, a.Rows)
+	return func(x, dst []float64) {
+		a.MulVec(u, x, tmp)
+		for i := range tmp {
+			tmp[i] = u.Mul(w[i], tmp[i])
+		}
+		a.TMulVec(u, tmp, dst)
+	}
+}
+
+// IRLSOptions configures the iteratively-reweighted least squares loop.
+type IRLSOptions struct {
+	// Outer is the number of reweighting rounds. The count is fixed, not
+	// adaptive: every convergence decision IRLS could make would have to
+	// read faulty values, so a deterministic schedule keeps runs replayable
+	// per seed.
+	Outer int
+	// CG configures each round's inner conjugate-gradient solve.
+	CG CGOptions
+}
+
+// IRLS minimizes Σρ(rᵢ) over residuals r = A·x − b by iteratively
+// reweighted least squares: each round evaluates the residual on u, forms
+// IRLS weights wᵢ = loss.Weight(rᵢ), and warm-starts CG on the weighted
+// normal equations AᵀWA·x = AᵀWb. Matrix-vector products, residuals, and
+// weights are the stochastic data path; weight sanitation and loop control
+// are reliable.
+//
+// A nil or quadratic loss has the constant weight 1, so IRLS collapses to
+// plain CG on the normal equations — taken as an explicit fast path whose
+// op stream is identical to CG(u, NormalEquationsMul(u, a), Aᵀb, x0): the
+// residual and weight passes are skipped entirely, so the fault stream is
+// not advanced and per-seed outcomes match the pre-robust solver bit for
+// bit. x0 is not modified.
+func IRLS(u *fpu.Unit, a *linalg.Dense, b []float64, loss robust.Robustifier, x0 []float64, opts IRLSOptions) (Result, error) {
+	if len(b) != a.Rows || len(x0) != a.Cols {
+		return Result{}, linalg.ErrShape
+	}
+	if opts.Outer <= 0 {
+		return Result{}, errors.New("solver: IRLS needs a positive outer round count")
+	}
+	rhs := make([]float64, a.Cols)
+	if loss == nil || loss.Kind() == robust.Quadratic {
+		a.TMulVec(u, b, rhs)
+		return CG(u, NormalEquationsMul(u, a), rhs, x0, opts.CG)
+	}
+
+	x := make([]float64, a.Cols)
+	copy(x, x0)
+	r := make([]float64, a.Rows)
+	w := make([]float64, a.Rows)
+	wb := make([]float64, a.Rows)
+	var total Result
+	total.Value = math.NaN()
+	for round := 0; round < opts.Outer; round++ {
+		// Residual and weights on the stochastic unit.
+		a.MulVec(u, x, r)
+		linalg.Sub(u, r, b, r)
+		for i := range r {
+			w[i] = loss.Weight(u, r[i])
+		}
+		// Reliable control: a weight corrupted to NaN/Inf (or knocked
+		// negative) would poison the whole inner system; drop the row for
+		// this round instead.
+		for i, wi := range w {
+			if math.IsNaN(wi) || math.IsInf(wi, 0) || wi < 0 {
+				w[i] = 0
+				total.Skipped++
+			}
+		}
+		// Right-hand side AᵀWb on the stochastic unit.
+		for i := range b {
+			wb[i] = u.Mul(w[i], b[i])
+		}
+		a.TMulVec(u, wb, rhs)
+		inner, err := CG(u, WeightedNormalEquationsMul(u, a, w), rhs, x, opts.CG)
+		if err != nil {
+			return Result{}, err
+		}
+		total.Iters += inner.Iters
+		total.Skipped += inner.Skipped
+		// Reliable guard: keep the previous iterate if the round collapsed.
+		if linalg.AllFinite(inner.X) {
+			copy(x, inner.X)
+		}
+	}
+	total.X = x
+	return total, nil
 }

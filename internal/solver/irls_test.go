@@ -1,0 +1,155 @@
+package solver
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"robustify/internal/fpu"
+	"robustify/internal/linalg"
+	"robustify/internal/robust"
+)
+
+func TestIRLSQuadraticIsCGBitForBit(t *testing.T) {
+	// The fast-path contract: with a quadratic (or nil) loss, IRLS must
+	// replay plain CG on the normal equations exactly — same fault stream,
+	// same bits — so wiring workloads through IRLS changes nothing per seed.
+	rng := rand.New(rand.NewSource(51))
+	a, _, b := randSPDSystem(rng, 20, 6)
+	x0 := make([]float64, 6)
+
+	cgRun := func() ([]float64, uint64) {
+		u := fpu.New(fpu.WithFaultRate(0.05, 77))
+		atb := make([]float64, 6)
+		a.TMulVec(u, b, atb)
+		res, err := CG(u, NormalEquationsMul(u, a), atb, x0, CGOptions{Iters: 10, RestartEvery: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.X, u.FLOPs()
+	}
+	irlsRun := func(loss robust.Robustifier) ([]float64, uint64) {
+		u := fpu.New(fpu.WithFaultRate(0.05, 77))
+		res, err := IRLS(u, a, b, loss, x0, IRLSOptions{Outer: 1, CG: CGOptions{Iters: 10, RestartEvery: 4}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.X, u.FLOPs()
+	}
+
+	wantX, wantFlops := cgRun()
+	quad, err := robust.New(robust.Quadratic, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, loss := range map[string]robust.Robustifier{"nil": nil, "quadratic": quad} {
+		gotX, gotFlops := irlsRun(loss)
+		if gotFlops != wantFlops {
+			t.Errorf("%s: FLOPs %d, want %d", name, gotFlops, wantFlops)
+		}
+		for i := range wantX {
+			if gotX[i] != wantX[i] {
+				t.Fatalf("%s: x[%d] = %v, want %v", name, i, gotX[i], wantX[i])
+			}
+		}
+	}
+}
+
+func TestIRLSHuberRejectsOutliers(t *testing.T) {
+	// Plant gross corruption in a few observations: quadratic CG is dragged
+	// off, Huber IRLS shrugs it off.
+	rng := rand.New(rand.NewSource(52))
+	a, xTrue, b := randSPDSystem(rng, 40, 5)
+	bad := append([]float64(nil), b...)
+	bad[3] += 1e4
+	bad[17] -= 1e4
+	bad[30] += 1e4
+
+	quadRes, err := IRLS(nil, a, bad, nil, make([]float64, 5), IRLSOptions{Outer: 1, CG: CGOptions{Iters: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	huber, err := robust.New(robust.Huber, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hubRes, err := IRLS(nil, a, bad, huber, make([]float64, 5), IRLSOptions{Outer: 8, CG: CGOptions{Iters: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	quadErr := linalg.RelErr(quadRes.X, xTrue)
+	hubErr := linalg.RelErr(hubRes.X, xTrue)
+	if !(hubErr < quadErr/10) {
+		t.Errorf("huber IRLS rel err %v, quadratic %v: want ≥10x improvement", hubErr, quadErr)
+	}
+	if hubErr > 0.05 {
+		t.Errorf("huber IRLS rel err %v, want near-recovery despite outliers", hubErr)
+	}
+}
+
+func TestIRLSDeterministicUnderFaults(t *testing.T) {
+	// Same seed, same bits — including the reweighting passes.
+	rng := rand.New(rand.NewSource(53))
+	a, _, b := randSPDSystem(rng, 25, 4)
+	loss, err := robust.New(robust.GemanMcClure, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() []float64 {
+		u := fpu.New(fpu.WithFaultRate(0.1, 5))
+		res, err := IRLS(u, a, b, loss, make([]float64, 4), IRLSOptions{Outer: 3, CG: CGOptions{Iters: 6, RestartEvery: 3}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.X
+	}
+	x1, x2 := run(), run()
+	for i := range x1 {
+		if x1[i] != x2[i] && !(math.IsNaN(x1[i]) && math.IsNaN(x2[i])) {
+			t.Fatalf("x[%d] diverged across identical runs: %v vs %v", i, x1[i], x2[i])
+		}
+	}
+}
+
+func TestIRLSValidation(t *testing.T) {
+	a := linalg.DenseOf([][]float64{{1, 0}, {0, 1}})
+	b := []float64{1, 2}
+	if _, err := IRLS(nil, a, b, nil, []float64{0, 0}, IRLSOptions{Outer: 0, CG: CGOptions{Iters: 2}}); err == nil {
+		t.Error("zero outer rounds accepted")
+	}
+	if _, err := IRLS(nil, a, []float64{1}, nil, []float64{0, 0}, IRLSOptions{Outer: 1, CG: CGOptions{Iters: 2}}); err == nil {
+		t.Error("rhs shape mismatch accepted")
+	}
+	if _, err := IRLS(nil, a, b, nil, []float64{0}, IRLSOptions{Outer: 1, CG: CGOptions{Iters: 2}}); err == nil {
+		t.Error("x0 shape mismatch accepted")
+	}
+	x0 := []float64{0, 0}
+	if _, err := IRLS(nil, a, b, nil, x0, IRLSOptions{Outer: 1, CG: CGOptions{Iters: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if x0[0] != 0 || x0[1] != 0 {
+		t.Error("IRLS mutated x0")
+	}
+}
+
+func TestWeightedNormalEquationsMul(t *testing.T) {
+	a := linalg.DenseOf([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	w := []float64{1, 0.5, 0}
+	mul := WeightedNormalEquationsMul(nil, a, w)
+	x := []float64{1, -1}
+	got := make([]float64, 2)
+	mul(x, got)
+	// Reference: Aᵀ diag(w) A x computed directly.
+	ax := make([]float64, 3)
+	a.MulVec(nil, x, ax)
+	for i := range ax {
+		ax[i] *= w[i]
+	}
+	want := make([]float64, 2)
+	a.TMulVec(nil, ax, want)
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("WeightedNormalEquationsMul[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}

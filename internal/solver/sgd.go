@@ -30,20 +30,28 @@ func DefaultAggressive() *Aggressive {
 	return &Aggressive{SuccessFactor: 1.25, FailFactor: 0.6, Tol: 1e-7, MaxIters: 500}
 }
 
-// Anneal configures penalty annealing (§6.2.4): every Every iterations the
-// penalty multiplier μ of an Annealable problem is multiplied by Factor, up
-// to Max. Raising μ as the solver closes in on the optimum sharpens the
-// constraint walls without swamping the true objective early on.
+// Anneal configures loss-parameter annealing (§6.2.4, generalized): every
+// Every iterations the Annealable problem's parameter is multiplied by
+// Factor, up to the limit Max in the direction of travel. With Factor > 1 it
+// raises a penalty multiplier μ as the solver closes in, sharpening the
+// constraint walls without swamping the true objective early on (Max is a
+// ceiling). With Factor < 1 it shrinks a robust-loss shape parameter —
+// Huber/pseudo-Huber δ, Geman–McClure σ — tightening the loss toward
+// robustness in the graduated-non-convexity style (Max is a floor). A
+// problem whose AnnealParam is 0 has nothing to anneal and is left alone.
 type Anneal struct {
-	Factor float64 // multiplicative growth, e.g. 2
-	Every  int     // iterations between increases
-	Max    float64 // cap on μ
+	Factor float64 // multiplicative change per firing; > 1 grows, < 1 shrinks
+	Every  int     // iterations between changes
+	Max    float64 // limit in the direction of travel (0 = unlimited)
 }
 
 // DefaultAnneal returns the annealing schedule used in the Fig 6.5
-// enhancement study. The cap matters: quadratic-penalty gradients have
-// curvature ∝ μ·λ·n, so μ must stay below the step schedule's stability
-// bound or the solver oscillates out of the feasible region.
+// enhancement study (a μ-raising schedule). The limit matters: quadratic-
+// penalty gradients have curvature ∝ μ·λ·n, so μ must stay below the step
+// schedule's stability bound or the solver oscillates out of the feasible
+// region. Shape-shrinking schedules (Factor < 1) need a floor for the dual
+// reason: a loss squeezed too tight treats every residual as an outlier and
+// stops pulling toward the optimum at all.
 func DefaultAnneal() *Anneal {
 	return &Anneal{Factor: 2, Every: 1500, Max: 8}
 }
@@ -116,8 +124,8 @@ func SGD(p core.Problem, x0 []float64, opts Options) (Result, error) {
 	if opts.Momentum < 0 || opts.Momentum > 1 {
 		return Result{}, errors.New("solver: momentum must be in [0, 1]")
 	}
-	if opts.Anneal != nil && (opts.Anneal.Factor <= 1 || opts.Anneal.Every <= 0) {
-		return Result{}, errors.New("solver: anneal needs Factor > 1 and Every > 0")
+	if opts.Anneal != nil && (opts.Anneal.Factor <= 0 || opts.Anneal.Factor == 1 || opts.Anneal.Every <= 0) {
+		return Result{}, errors.New("solver: anneal needs Factor > 0, Factor != 1, and Every > 0")
 	}
 	if a := opts.Aggressive; a != nil {
 		if a.SuccessFactor <= 1 || a.FailFactor <= 0 || a.FailFactor >= 1 || a.MaxIters < 0 {
@@ -142,12 +150,20 @@ func SGD(p core.Problem, x0 []float64, opts Options) (Result, error) {
 
 	for t := 1; t <= opts.Iters; t++ {
 		if opts.Anneal != nil && annealable != nil && t%opts.Anneal.Every == 0 {
-			//lint:fpu-exempt annealing schedule is reliable control arithmetic, not simulated-machine math
-			mu := annealable.PenaltyWeight() * opts.Anneal.Factor
-			if opts.Anneal.Max > 0 && mu > opts.Anneal.Max {
-				mu = opts.Anneal.Max
+			if cur := annealable.AnnealParam(); cur != 0 {
+				//lint:fpu-exempt annealing schedule is reliable control arithmetic, not simulated-machine math
+				v := cur * opts.Anneal.Factor
+				if opts.Anneal.Max > 0 {
+					// Max limits in the direction of travel: a ceiling for
+					// growing schedules, a floor for shrinking ones.
+					if opts.Anneal.Factor > 1 && v > opts.Anneal.Max {
+						v = opts.Anneal.Max
+					} else if opts.Anneal.Factor < 1 && v < opts.Anneal.Max {
+						v = opts.Anneal.Max
+					}
+				}
+				annealable.SetAnnealParam(v)
 			}
-			annealable.SetPenaltyWeight(mu)
 		}
 		p.Grad(x, grad) // stochastic data path
 		res.Iters++

@@ -7,6 +7,7 @@ import (
 	"robustify/internal/core"
 	"robustify/internal/fpu"
 	"robustify/internal/linalg"
+	"robustify/internal/robust"
 )
 
 // quadratic is a strongly convex test problem f(x) = ½‖x − target‖² with
@@ -34,8 +35,8 @@ func (q *quadratic) Value(x []float64) float64 {
 	return s
 }
 
-func (q *quadratic) PenaltyWeight() float64     { return q.mu }
-func (q *quadratic) SetPenaltyWeight(m float64) { q.mu = m }
+func (q *quadratic) AnnealParam() float64     { return q.mu }
+func (q *quadratic) SetAnnealParam(m float64) { q.mu = m }
 
 func TestScheduleShapes(t *testing.T) {
 	lin, sq, c := Linear(1), Sqrt(1), Constant(0.3)
@@ -105,10 +106,12 @@ func TestSGDGuardSkipsNonFinite(t *testing.T) {
 func TestSGDOptionValidation(t *testing.T) {
 	q := &quadratic{target: []float64{0}}
 	cases := map[string]Options{
-		"no schedule":  {Iters: 1},
-		"neg iters":    {Iters: -1, Schedule: Constant(1)},
-		"bad momentum": {Iters: 1, Schedule: Constant(1), Momentum: 2},
-		"bad anneal":   {Iters: 1, Schedule: Constant(1), Anneal: &Anneal{Factor: 1, Every: 1}},
+		"no schedule":     {Iters: 1},
+		"neg iters":       {Iters: -1, Schedule: Constant(1)},
+		"bad momentum":    {Iters: 1, Schedule: Constant(1), Momentum: 2},
+		"anneal factor 1": {Iters: 1, Schedule: Constant(1), Anneal: &Anneal{Factor: 1, Every: 1}},
+		"anneal factor 0": {Iters: 1, Schedule: Constant(1), Anneal: &Anneal{Factor: 0, Every: 1}},
+		"anneal no every": {Iters: 1, Schedule: Constant(1), Anneal: &Anneal{Factor: 2}},
 		"bad aggressive": {Iters: 1, Schedule: Constant(1),
 			Aggressive: &Aggressive{SuccessFactor: 0.5, FailFactor: 0.5}},
 	}
@@ -166,6 +169,57 @@ func TestAnnealRaisesPenalty(t *testing.T) {
 	}
 	if q.mu != 16 {
 		t.Errorf("mu = %v, want annealed to cap 16", q.mu)
+	}
+}
+
+func TestAnnealShrinksLossShapeToFloor(t *testing.T) {
+	// Graduated non-convexity on a real non-quadratic loss: annealing with
+	// Factor < 1 must shrink the Huber δ each firing and then pin it at Max,
+	// which acts as a floor in the shrinking direction.
+	loss, err := robust.New(robust.Huber, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := linalg.NewDense(1, 1)
+	a.Set(0, 0, 1)
+	p, err := core.NewRobustLeastSquares(nil, a, []float64{3}, loss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = SGD(p, []float64{0}, Options{
+		Iters:    50,
+		Schedule: Constant(0.1),
+		Anneal:   &Anneal{Factor: 0.5, Every: 10, Max: 0.25},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 firings: 2 → 1 → 0.5 → 0.25 → clamped at 0.25.
+	if loss.Shape() != 0.25 {
+		t.Errorf("shape = %v, want annealed to floor 0.25", loss.Shape())
+	}
+}
+
+func TestAnnealSkipsZeroParam(t *testing.T) {
+	// A zero AnnealParam means "nothing to anneal": the legacy quadratic
+	// least-squares path must come through an anneal schedule untouched —
+	// in particular the shrinking schedule must not multiply 0 forever.
+	a := linalg.NewDense(1, 1)
+	a.Set(0, 0, 1)
+	p, err := core.NewLeastSquares(nil, a, []float64{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = SGD(p, []float64{0}, Options{
+		Iters:    50,
+		Schedule: Constant(0.1),
+		Anneal:   &Anneal{Factor: 0.5, Every: 10, Max: 0.25},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.AnnealParam(); got != 0 {
+		t.Errorf("AnnealParam = %v, want untouched 0", got)
 	}
 }
 

@@ -34,6 +34,7 @@ import (
 	"robustify/internal/core"
 	"robustify/internal/fpu"
 	"robustify/internal/linalg"
+	"robustify/internal/robust"
 	"robustify/internal/solver"
 )
 
@@ -138,6 +139,43 @@ func NewLeastSquares(u *FPU, a linalg.Operator, b []float64) (*core.LeastSquares
 	return core.NewLeastSquares(u, a, b)
 }
 
+// Robustifier is a pluggable robust loss ρ with its influence function
+// ψ = ρ′/2 and IRLS weight ψ(r)/r, every float op FPU-mediated. The
+// quadratic member reproduces the legacy solvers bit for bit; the
+// bounded-influence members cap how hard one fault-corrupted residual can
+// pull a solve.
+type Robustifier = robust.Robustifier
+
+// LossKind names a robust loss in the internal registry.
+type LossKind = robust.Kind
+
+// Robust loss kinds.
+const (
+	LossQuadratic    = robust.Quadratic
+	LossHuber        = robust.Huber
+	LossPseudoHuber  = robust.PseudoHuber
+	LossGemanMcClure = robust.GemanMcClure
+	LossSmoothL1     = robust.SmoothL1
+)
+
+// NewLoss builds a robust loss; shape ≤ 0 picks the loss's default shape.
+func NewLoss(kind LossKind, shape float64) (Robustifier, error) {
+	return robust.New(kind, shape)
+}
+
+// NewRobustLeastSquares builds min Σρ(rᵢ) over residuals r = a·x − b. A nil
+// loss is the quadratic objective, bit-identical to NewLeastSquares.
+func NewRobustLeastSquares(u *FPU, a linalg.Operator, b []float64, loss Robustifier) (*core.LeastSquares, error) {
+	return core.NewRobustLeastSquares(u, a, b, loss)
+}
+
+// NewRobustPenaltyLP converts a LinearProgram to unconstrained penalty form
+// with each violation scored by the robust loss (quadratic ≡ PenaltyQuad
+// bit for bit).
+func NewRobustPenaltyLP(u *FPU, lp LinearProgram, loss Robustifier, mu float64) (*core.PenaltyLP, error) {
+	return core.NewRobustPenaltyLP(u, lp, loss, mu)
+}
+
 // Precondition rewrites an inequality-only LP in QR-preconditioned
 // coordinates (§6.2.1).
 func Precondition(u *FPU, lp LinearProgram, kind PenaltyKind, mu float64) (*core.PreconditionedLP, error) {
@@ -158,6 +196,8 @@ type (
 	Result = solver.Result
 	// CGOptions configures the conjugate gradient solver.
 	CGOptions = solver.CGOptions
+	// IRLSOptions configures the iteratively-reweighted least squares loop.
+	IRLSOptions = solver.IRLSOptions
 )
 
 // Step schedules (§3.2/§6.2.3).
@@ -187,6 +227,14 @@ func CG(u *FPU, mul solver.MulFunc, b, x0 []float64, opts CGOptions) (Result, er
 // NormalEquationsMul returns the (AᵀA)·x operator for least squares CG.
 func NormalEquationsMul(u *FPU, a *Matrix) solver.MulFunc {
 	return solver.NormalEquationsMul(u, a)
+}
+
+// IRLS solves min Σρ(a·x − b) by iteratively reweighted least squares:
+// robust-loss weights outside, CG on the weighted normal equations inside.
+// A nil or quadratic loss collapses to CG on the normal equations bit for
+// bit.
+func IRLS(u *FPU, a *Matrix, b []float64, loss Robustifier, x0 []float64, opts IRLSOptions) (Result, error) {
+	return solver.IRLS(u, a, b, loss, x0, opts)
 }
 
 // SortOptions configures RobustSort.
