@@ -4,10 +4,13 @@
 // Usage:
 //
 //	faultsim -mode hist|voltage|trace [-rate R] [-dist emulated|measured|uniform|low]
-//	         [-n N] [-seed S]
+//	         [-model M] [-n N] [-seed S]
 //
 // -n is a raw count in every mode: samples drawn in hist mode, ops traced
-// in trace mode.
+// in trace mode. -model selects the trace's fault model (default,
+// stratified, burst, memory — a bare name or a faultmodel JSON spec like
+// {"name":"burst","burst_len":128}); it overrides -dist, which only
+// parameterizes the default model.
 package main
 
 import (
@@ -17,6 +20,7 @@ import (
 	"os"
 
 	"robustify/internal/fpu"
+	"robustify/internal/fpu/faultmodel"
 )
 
 func main() {
@@ -29,11 +33,12 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("faultsim", flag.ContinueOnError)
 	var (
-		mode = fs.String("mode", "hist", "hist | voltage | trace")
-		rate = fs.Float64("rate", 0.01, "faults per FLOP for trace mode")
-		dist = fs.String("dist", "emulated", "bit distribution: emulated | measured | uniform | low")
-		n    = fs.Int("n", 20000, "raw count: samples to draw (hist) / ops to trace (trace)")
-		seed = fs.Uint64("seed", 1, "RNG seed")
+		mode  = fs.String("mode", "hist", "hist | voltage | trace")
+		rate  = fs.Float64("rate", 0.01, "faults per FLOP for trace mode")
+		dist  = fs.String("dist", "emulated", "bit distribution: emulated | measured | uniform | low")
+		model = fs.String("model", "", "trace fault model: name or JSON spec (see fpu/faultmodel); overrides -dist")
+		n     = fs.Int("n", 20000, "raw count: samples to draw (hist) / ops to trace (trace)")
+		seed  = fs.Uint64("seed", 1, "RNG seed")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -47,6 +52,13 @@ func run(args []string) error {
 	case "voltage":
 		return voltage()
 	case "trace":
+		if *model != "" {
+			spec, err := faultmodel.Parse(*model)
+			if err != nil {
+				return err
+			}
+			return traceModel(spec, *rate, *n, *seed)
+		}
 		return trace(pickDist(*dist), *rate, *n, *seed)
 	default:
 		return fmt.Errorf("unknown mode %q", *mode)
@@ -115,6 +127,47 @@ func trace(d fpu.BitDistribution, rate float64, n int, seed uint64) error {
 		acc = got
 	}
 	fmt.Printf("%d FLOPs, %d faults\n", u.FLOPs(), u.Faults())
+	return nil
+}
+
+// traceModel is trace under a selectable fault model. The loop keeps its
+// running state in a small vector it exposes to the model between blocks
+// of multiply-accumulates, so memory-resident models have stored words to
+// strike and FLOP-level models show their scheduling (the hook is a no-op
+// for them).
+func traceModel(spec *faultmodel.Spec, rate float64, n int, seed uint64) error {
+	u := spec.Unit(rate, seed)
+	state := make([]float64, 8)
+	fmt.Printf("tracing %d multiply-accumulate ops at rate %g (model %s)\n", n, rate, spec.ModelName())
+	exact := make([]float64, 8)
+	for i := 0; i < n; i++ {
+		slot := i % 8
+		want := exact[slot] + 1.1*float64(i+1)
+		got := u.FMA(1.1, float64(i+1), state[slot])
+		if got != want {
+			fmt.Printf("* op %4d: exact %-22.17g got %-22.17g (rel %.2e)\n",
+				i, want, got, relErr(got, want))
+		}
+		state[slot] = got
+		// Track the faulted value from here on: each report is one fault,
+		// not the echo of every earlier one.
+		exact[slot] = got
+		if slot == 7 {
+			u.CorruptSlice(state)
+			for j := range state {
+				if state[j] != exact[j] {
+					fmt.Printf("* mem slot %d after op %4d: exact %-22.17g got %-22.17g\n",
+						j, i, exact[j], state[j])
+					exact[j] = state[j]
+				}
+			}
+		}
+	}
+	var injected uint64
+	if m := u.Model(); m != nil {
+		injected = m.Injected()
+	}
+	fmt.Printf("%d FLOPs, %d faults, %d model injections\n", u.FLOPs(), u.Faults(), injected)
 	return nil
 }
 

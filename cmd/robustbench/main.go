@@ -4,11 +4,17 @@
 // Usage:
 //
 //	robustbench [-fig all|5.1|5.2|6.1|...|6.7|momentum|flops]
-//	            [-trials N] [-seed S] [-quick] [-workers N]
+//	            [-trials N] [-seed S] [-quick] [-workers N] [-fault-model M]
 //	            [-csv DIR] [-out DIR] [-resume DIR] [-list]
 //	robustbench -tune WORKLOAD -out DIR [-tune-rates R1,R2] [-tune-knobs K1,K2]
 //	            [-tune-rounds N] [-tune-iters N] [-tune-agg mean|median]
-//	            [-trials N] [-seed S] [-workers N]
+//	            [-trials N] [-seed S] [-workers N] [-fault-model M]
+//
+// -fault-model selects the fault-injection model every trial runs under:
+// a family name (default, stratified, burst, memory) or a faultmodel JSON
+// spec like {"name":"burst","burst_len":128}. It is part of a persisted
+// run's resume identity, and with -tune it also puts the family's fm_*
+// parameters on the search grid.
 //
 // With -csv, each figure is additionally written as DIR/fig-<id>.csv.
 // With -out, every completed trial of a sweep-shaped figure is persisted
@@ -41,6 +47,7 @@ import (
 
 	"robustify/internal/campaign"
 	"robustify/internal/figures"
+	"robustify/internal/fpu/faultmodel"
 	"robustify/internal/harness"
 	"robustify/internal/tune"
 )
@@ -60,6 +67,7 @@ func run(args []string) error {
 		seed    = fs.Uint64("seed", 1, "base RNG seed")
 		quick   = fs.Bool("quick", false, "scaled-down problem sizes and grids")
 		workers = fs.Int("workers", 0, "sweep worker goroutines (0 = GOMAXPROCS)")
+		fmFlag  = fs.String("fault-model", "", "fault model: name or JSON spec (see fpu/faultmodel; default: the paper's injector)")
 		csvDir  = fs.String("csv", "", "directory for CSV export (optional)")
 		outDir  = fs.String("out", "", "persist per-trial results to campaign stores under DIR")
 		resume  = fs.String("resume", "", "resume persisted campaign stores under DIR (implies -out DIR)")
@@ -100,20 +108,26 @@ func run(args []string) error {
 		context.AfterFunc(ctx, stop)
 	}
 
+	model, err := faultmodel.Parse(*fmFlag)
+	if err != nil {
+		return err
+	}
+
 	if *tuneW != "" {
 		rates, err := parseRates(*tuneRates)
 		if err != nil {
 			return err
 		}
 		spec := tune.Spec{
-			Workload: *tuneW,
-			Rates:    rates,
-			Trials:   *trials,
-			Iters:    *tuneIters,
-			Agg:      *tuneAgg,
-			Seed:     *seed,
-			Rounds:   *tuneRounds,
-			Workers:  *workers,
+			Workload:   *tuneW,
+			Rates:      rates,
+			Trials:     *trials,
+			Iters:      *tuneIters,
+			Agg:        *tuneAgg,
+			Seed:       *seed,
+			Rounds:     *tuneRounds,
+			Workers:    *workers,
+			FaultModel: model,
 		}
 		for _, k := range strings.Split(*tuneKnobs, ",") {
 			if k = strings.TrimSpace(k); k != "" {
@@ -123,7 +137,7 @@ func run(args []string) error {
 		return runTune(ctx, storeDir, spec)
 	}
 
-	cfg := figures.Config{Trials: *trials, Seed: *seed, Quick: *quick, Workers: *workers}
+	cfg := figures.Config{Trials: *trials, Seed: *seed, Quick: *quick, Workers: *workers, FaultModel: model}
 	selected := strings.Split(*fig, ",")
 	for _, f := range figures.All() {
 		if !match(selected, f.ID) {
@@ -164,11 +178,12 @@ func run(args []string) error {
 // of repeated. A nil table with nil error means ctx was cancelled.
 func runCampaign(ctx context.Context, dir, id string, cfg figures.Config) (*harness.Table, error) {
 	spec := campaign.Spec{
-		Figure:  id,
-		Trials:  cfg.Trials,
-		Seed:    cfg.Seed,
-		Workers: cfg.Workers,
-		Quick:   cfg.Quick,
+		Figure:     id,
+		Trials:     cfg.Trials,
+		Seed:       cfg.Seed,
+		Workers:    cfg.Workers,
+		Quick:      cfg.Quick,
+		FaultModel: cfg.FaultModel,
 	}
 	camp, err := campaign.Compile(spec)
 	if err != nil {
@@ -182,7 +197,7 @@ func runCampaign(ctx context.Context, dir, id string, cfg figures.Config) (*harn
 	if prev, ok, err := st.LoadSpec(); err != nil {
 		return nil, err
 	} else if ok && !campaign.ResumeCompatible(prev, spec) {
-		return nil, fmt.Errorf("store %s was created by a different run (figure/trials/seed/quick changed); use a fresh -out directory", st.Dir())
+		return nil, fmt.Errorf("store %s was created by a different run (figure/trials/seed/quick/fault-model changed); use a fresh -out directory", st.Dir())
 	}
 	if err := st.SaveSpec(spec); err != nil {
 		return nil, err

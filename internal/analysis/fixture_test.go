@@ -174,3 +174,20 @@ func TestDirectiveHygiene(t *testing.T) {
 		t.Errorf("got %d fpumediation diagnostics, want 1: %v", nFPU, diags)
 	}
 }
+
+func TestFPUMediationFaultModelFixture(t *testing.T) {
+	// internal/fpu/faultmodel is in scope: a model whose corruption math is
+	// raw float arithmetic must be flagged; bit-level flips and exempted
+	// mechanism arithmetic pass.
+	runFixture(t, "faultmodelmediation", "robustify/internal/fpu/faultmodel",
+		[]*Analyzer{FPUMediation})
+}
+
+func TestFPUMediationFPUItselfOutOfScope(t *testing.T) {
+	// The mediator package stays out of scope: only the faultmodel
+	// subpackage joined the audit.
+	pkg := loadFixture(t, "faultmodelmediation")
+	for _, d := range RunPackage(pkg, "robustify/internal/fpu", []*Analyzer{FPUMediation}) {
+		t.Errorf("out-of-scope diagnostic: %s", d)
+	}
+}

@@ -41,6 +41,11 @@ var fpuScopes = []string{
 	"robustify/internal/linalg",
 	"robustify/internal/core",
 	"robustify/internal/robust",
+	// Fault models sit on the machine side of the boundary, but their float
+	// math is mechanism (probabilities, masks, schedules), not simulated
+	// workload math: any arithmetic there must be deliberate and carry a
+	// written exemption, or it silently escapes injection accounting.
+	"robustify/internal/fpu/faultmodel",
 }
 
 // mathAllowlist are math functions that read or rewrite bits without

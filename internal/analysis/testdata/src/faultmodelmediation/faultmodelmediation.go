@@ -1,0 +1,40 @@
+// Package faultmodelmediation exercises the fpumediation analyzer over the
+// fault-model scope: a model implementation whose corruption math runs as
+// raw float arithmetic is a true positive — unmediated, unexempted float
+// math inside a fault model escapes the injection accounting — while
+// bit-level corruption and exempted mechanism arithmetic pass.
+package faultmodelmediation
+
+import "math"
+
+// sneakyModel drifts values instead of flipping bits: the raw float
+// operations below must be flagged.
+type sneakyModel struct {
+	rate float64
+	left int
+}
+
+// Corrupt perturbs the value with unexempted float math.
+func (m *sneakyModel) Corrupt(v float64) float64 {
+	noise := m.rate * 0.5  // want "raw float *"
+	s := math.Sqrt(noise)  // want "math.Sqrt bypasses"
+	return v + noise*(s+v) // want "raw float +"
+}
+
+// CorruptBits flips a bit reliably: bit-level access is allowlisted, and
+// integer masks are not float math.
+func (m *sneakyModel) CorruptBits(v float64) float64 {
+	return math.Float64frombits(math.Float64bits(v) ^ (1 << 52))
+}
+
+// Fire draws from the schedule with exempted mechanism arithmetic: the
+// written reason keeps deliberate model math auditable but quiet.
+func (m *sneakyModel) Fire() bool {
+	m.left--
+	if m.left > 0 {
+		return false
+	}
+	//lint:fpu-exempt fixture: inter-arrival scheduling is fault-model mechanism, not simulated-machine math
+	m.left = int(1/m.rate + 0.5)
+	return true
+}

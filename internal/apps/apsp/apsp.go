@@ -193,6 +193,7 @@ func (inst *Instance) Robust(u *fpu.Unit, o Options) (*linalg.Dense, solver.Resu
 		Momentum:    o.Momentum,
 		Anneal:      o.Anneal,
 		TailAverage: o.Tail,
+		Unit:        u,
 	})
 	if err != nil {
 		return nil, res, err

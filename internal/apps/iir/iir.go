@@ -165,6 +165,7 @@ func (f *Filter) Robust(fp *fpu.Unit, u []float64, o Options) ([]float64, solver
 		Momentum:    o.Momentum,
 		Aggressive:  o.Aggressive,
 		TailAverage: o.Tail,
+		Unit:        fp,
 	})
 	if err != nil {
 		return nil, res, err

@@ -126,6 +126,7 @@ func (inst *Instance) SolveSGD(u *fpu.Unit, o SGDOptions) ([]float64, solver.Res
 		Momentum:   o.Momentum,
 		Aggressive: o.Aggressive,
 		Anneal:     o.Anneal,
+		Unit:       u,
 	})
 	if err != nil {
 		return nil, res, err

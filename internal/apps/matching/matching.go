@@ -118,6 +118,7 @@ func (inst *Instance) Robust(u *fpu.Unit, o Options) ([]int, solver.Result, erro
 		Aggressive:  o.Aggressive,
 		Anneal:      o.Anneal,
 		TailAverage: o.Tail,
+		Unit:        u,
 	}
 	x0 := prob.UniformStart()
 

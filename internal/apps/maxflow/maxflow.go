@@ -176,6 +176,7 @@ func (inst *Instance) Robust(u *fpu.Unit, o Options) (float64, []float64, error)
 		Momentum:    o.Momentum,
 		Anneal:      o.Anneal,
 		TailAverage: o.Tail,
+		Unit:        u,
 	})
 	if err != nil {
 		return 0, nil, err

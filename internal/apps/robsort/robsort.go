@@ -149,6 +149,7 @@ func Robust(fp *fpu.Unit, data []float64, o Options) ([]float64, solver.Result, 
 		Anneal:         o.Anneal,
 		TailAverage:    o.Tail,
 		GuardThreshold: o.Guard,
+		Unit:           fp,
 	})
 	if err != nil {
 		return nil, res, err

@@ -214,6 +214,7 @@ func Train(u *fpu.Unit, d *Dataset, o Options) ([]float64, solver.Result, error)
 		Iters:       o.Iters,
 		Schedule:    sched,
 		TailAverage: tail,
+		Unit:        u,
 	})
 	if err != nil {
 		return nil, res, err

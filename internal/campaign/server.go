@@ -8,6 +8,7 @@ import (
 	"net/http"
 
 	"robustify/internal/dispatch"
+	"robustify/internal/fpu/faultmodel"
 	"robustify/internal/harness"
 )
 
@@ -19,7 +20,8 @@ import (
 //	GET    /campaigns/{id}/results  materialized table; ?format=text|csv|json
 //	POST   /campaigns/{id}/cancel   stop; completed trials stay durable
 //	POST   /campaigns/{id}/resume   reschedule a cancelled/failed/interrupted campaign
-//	GET    /workloads               custom-sweep workload registry
+//	GET    /workloads               custom-sweep workload registry and the
+//	                                selectable fault models with their fm_* knobs
 //	GET    /healthz                 liveness
 //	GET    /metrics                 Prometheus text: campaigns by state, trial
 //	                                throughput, workers, outstanding leases
@@ -114,14 +116,27 @@ func NewServer(m *Manager) http.Handler {
 			Maximize     bool   `json:"maximize,omitempty"`
 			Knobs        []Knob `json:"knobs,omitempty"`
 		}
-		var out []wl
+		type fm struct {
+			Name string `json:"name"`
+			// Knobs are the family's fm_*-prefixed parameters, settable via
+			// CustomSweep.Params and searchable by the tune layer.
+			Knobs []Knob `json:"knobs,omitempty"`
+		}
+		var wls []wl
 		for _, item := range Workloads() {
-			out = append(out, wl{
+			wls = append(wls, wl{
 				Name: item.Name, Desc: item.Desc, DefaultIters: item.DefaultIters,
 				Maximize: item.Maximize, Knobs: item.Knobs,
 			})
 		}
-		WriteJSON(w, http.StatusOK, out)
+		var fms []fm
+		for _, name := range faultmodel.Names() {
+			fms = append(fms, fm{Name: name, Knobs: ModelKnobs(name)})
+		}
+		WriteJSON(w, http.StatusOK, map[string]any{
+			"workloads":    wls,
+			"fault_models": fms,
+		})
 	})
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {

@@ -10,6 +10,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"robustify/internal/fpu/faultmodel"
 	"time"
 )
 
@@ -302,4 +304,45 @@ func TestServerErrors(t *testing.T) {
 	}
 	// Resuming a completed campaign is a conflict.
 	doJSON(t, "POST", srv.URL+"/campaigns/"+id+"/resume", "", http.StatusConflict, nil)
+}
+
+// TestServerAdvertisesFaultModels: GET /workloads exposes the selectable
+// model families next to the workload registry so remote clients can build
+// fault_model specs (and tune grids) without guessing names.
+func TestServerAdvertisesFaultModels(t *testing.T) {
+	srv, _ := newTestServer(t, 1)
+	var resp struct {
+		Workloads []struct {
+			Name string `json:"name"`
+		} `json:"workloads"`
+		FaultModels []struct {
+			Name  string `json:"name"`
+			Knobs []Knob `json:"knobs"`
+		} `json:"fault_models"`
+	}
+	doJSON(t, "GET", srv.URL+"/workloads", "", http.StatusOK, &resp)
+	if len(resp.Workloads) == 0 {
+		t.Fatal("no workloads advertised")
+	}
+	var names []string
+	knobs := map[string]int{}
+	for _, fm := range resp.FaultModels {
+		names = append(names, fm.Name)
+		knobs[fm.Name] = len(fm.Knobs)
+	}
+	want := faultmodel.Names()
+	if len(names) != len(want) {
+		t.Fatalf("advertised models = %v, want %v", names, want)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Errorf("model %d = %q, want %q (advertisement order)", i, names[i], n)
+		}
+	}
+	if knobs["stratified"] == 0 || knobs["burst"] == 0 {
+		t.Errorf("parameterized families advertised without knobs: %v", knobs)
+	}
+	if knobs["default"] != 0 || knobs["memory"] != 0 {
+		t.Errorf("parameterless families advertised with knobs: %v", knobs)
+	}
 }

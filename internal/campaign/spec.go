@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"robustify/internal/figures"
+	"robustify/internal/fpu/faultmodel"
 	"robustify/internal/harness"
 )
 
@@ -36,6 +37,13 @@ type Spec struct {
 	Workers int `json:"workers,omitempty"`
 	// Quick selects the scaled-down figure variants.
 	Quick bool `json:"quick,omitempty"`
+	// FaultModel selects the injection model every trial runs under (see
+	// fpu/faultmodel: default, stratified, burst, memory). Omitted means
+	// the default model, byte-identical to pre-faultmodel specs — both in
+	// results and in resume identity, since the field marshals away when
+	// nil. A non-nil model shapes every trial value, so it is part of
+	// specKey: a store written under one model never resumes under another.
+	FaultModel *faultmodel.Spec `json:"fault_model,omitempty"`
 }
 
 // CustomSweep sweeps one registered workload over an explicit rate grid.
@@ -54,6 +62,12 @@ type CustomSweep struct {
 	// validation, so a typo can't silently run the defaults. Omitted knobs
 	// keep their declared defaults. Params shape the grid's trial values,
 	// so they are part of the spec's resume identity.
+	//
+	// Keys with the "fm_" prefix are fault-model parameters, not workload
+	// knobs: they override fields of the spec's FaultModel (see ModelKnobs)
+	// and are rejected unless the selected model declares them. They ride
+	// in Params so the tune subsystem can put fault-model parameters on the
+	// same knob grid as algorithm parameters.
 	Params map[string]float64 `json:"params,omitempty"`
 }
 
@@ -68,6 +82,9 @@ func (s *Spec) Validate() error {
 		return fmt.Errorf("campaign: negative trials")
 	case s.Workers < 0:
 		return fmt.Errorf("campaign: negative workers")
+	}
+	if err := s.FaultModel.Validate(); err != nil {
+		return err
 	}
 	if s.Figure != "" {
 		if figures.Lookup(s.Figure) == nil {
@@ -84,7 +101,11 @@ func (s *Spec) Validate() error {
 	if err != nil {
 		return err
 	}
-	if _, err := w.resolveParams(c.Params); err != nil {
+	workloadParams, modelParams := splitModelParams(c.Params)
+	if _, err := w.resolveParams(workloadParams); err != nil {
+		return err
+	}
+	if _, err := applyModelParams(s.FaultModel, modelParams); err != nil {
 		return err
 	}
 	if len(c.Rates) == 0 {
@@ -141,10 +162,11 @@ func Compile(spec Spec) (*Campaign, error) {
 	var plan *figures.Plan
 	if spec.Figure != "" {
 		plan = figures.PlanFor(spec.Figure, figures.Config{
-			Trials:  spec.Trials,
-			Seed:    spec.Seed,
-			Quick:   spec.Quick,
-			Workers: spec.Workers,
+			Trials:     spec.Trials,
+			Seed:       spec.Seed,
+			Quick:      spec.Quick,
+			Workers:    spec.Workers,
+			FaultModel: spec.FaultModel,
 		})
 	} else {
 		var err error

@@ -38,6 +38,12 @@ type Knob struct {
 	Grid []float64 `json:"grid,omitempty"`
 }
 
+// UnitFactory builds one trial's simulated FPU for a fault rate and trial
+// seed. The campaign compiler derives it from the spec's fault model (see
+// faultmodel.Spec.Unit), so workloads stay model-agnostic: they ask the
+// factory for a unit and never touch injector construction themselves.
+type UnitFactory func(rate float64, seed uint64) *fpu.Unit
+
 // Workload is a named trial function available to custom sweeps.
 type Workload struct {
 	Name string
@@ -52,11 +58,12 @@ type Workload struct {
 	// override them via CustomSweep.Params; the tune subsystem searches
 	// their grids.
 	Knobs []Knob
-	// Build returns the trial function for the given iteration budget and
-	// fully resolved knob values (every declared knob present). Every
-	// per-trial random choice derives from the trial seed, so the
-	// workload is replayable — on resume and on remote workers alike.
-	Build func(iters int, params map[string]float64) harness.TrialFunc
+	// Build returns the trial function for the given iteration budget,
+	// fully resolved knob values (every declared knob present), and the
+	// spec's unit factory. Every per-trial random choice derives from the
+	// trial seed, so the workload is replayable — on resume and on remote
+	// workers alike.
+	Build func(iters int, params map[string]float64, unit UnitFactory) harness.TrialFunc
 }
 
 // Workloads lists the registered custom-sweep workloads.
@@ -74,10 +81,10 @@ func Workloads() []Workload {
 			Name: "sort/base", Desc: "quicksort success rate (5-element arrays)",
 			DefaultIters: 0,
 			Maximize:     true,
-			Build: func(int, map[string]float64) harness.TrialFunc {
+			Build: func(_ int, _ map[string]float64, unit UnitFactory) harness.TrialFunc {
 				return func(rate float64, seed uint64) float64 {
 					data := sortData(seed)
-					u := fpu.New(fpu.WithFaultRate(rate, seed))
+					u := unit(rate, seed)
 					return b2f(robsort.Success(robsort.Baseline(u, data), data))
 				}
 			},
@@ -86,10 +93,10 @@ func Workloads() []Workload {
 			Name: "sort/robust", Desc: "robust SGD sort success rate (SGD+AS,SQS with tail averaging)",
 			DefaultIters: 10000,
 			Maximize:     true,
-			Build: func(iters int, _ map[string]float64) harness.TrialFunc {
+			Build: func(iters int, _ map[string]float64, unit UnitFactory) harness.TrialFunc {
 				return func(rate float64, seed uint64) float64 {
 					data := sortData(seed)
-					u := fpu.New(fpu.WithFaultRate(rate, seed))
+					u := unit(rate, seed)
 					out, _, err := robsort.Robust(u, data, robsort.Options{
 						Iters:      iters,
 						Schedule:   solver.Sqrt(0.5 / 5),
@@ -106,10 +113,10 @@ func Workloads() []Workload {
 		{
 			Name: "eigen/power", Desc: "power-iteration dominant-eigenvalue relative error (n=6)",
 			DefaultIters: 300,
-			Build: func(iters int, _ map[string]float64) harness.TrialFunc {
+			Build: func(iters int, _ map[string]float64, unit UnitFactory) harness.TrialFunc {
 				return func(rate float64, seed uint64) float64 {
 					m, want := eigenInstance(seed)
-					u := fpu.New(fpu.WithFaultRate(rate, seed))
+					u := unit(rate, seed)
 					lambda, _ := eigen.PowerIteration(u, m, iters)
 					return eigenScore(lambda, want)
 				}
@@ -118,10 +125,10 @@ func Workloads() []Workload {
 		{
 			Name: "eigen/robust", Desc: "robust Rayleigh-ascent dominant-eigenvalue relative error (n=6)",
 			DefaultIters: 2000,
-			Build: func(iters int, _ map[string]float64) harness.TrialFunc {
+			Build: func(iters int, _ map[string]float64, unit UnitFactory) harness.TrialFunc {
 				return func(rate float64, seed uint64) float64 {
 					m, want := eigenInstance(seed)
-					u := fpu.New(fpu.WithFaultRate(rate, seed))
+					u := unit(rate, seed)
 					lambda, _, err := eigen.TopEigen(u, m, eigen.Options{Iters: iters})
 					if err != nil {
 						return 1e6
@@ -140,13 +147,13 @@ func Workloads() []Workload {
 					Grid: []float64{1, 2, 4, 8, 16, 32},
 				},
 			}, lossKnobs("legacy l1 exact penalty")...),
-			Build: func(iters int, params map[string]float64) harness.TrialFunc {
+			Build: func(iters int, params map[string]float64, unit UnitFactory) harness.TrialFunc {
 				mu := params["mu"]
 				lossIdx, lossShape := lossSelector(params)
 				return func(rate float64, seed uint64) float64 {
 					rng := rand.New(rand.NewSource(int64(seed)))
 					inst := apsp.RandomInstance(rng, 5, 5, 5)
-					u := fpu.New(fpu.WithFaultRate(rate, seed))
+					u := unit(rate, seed)
 					loss, err := lossForTrial(lossIdx, lossShape)
 					if err != nil {
 						return 1e6
@@ -172,7 +179,7 @@ func Workloads() []Workload {
 					Grid: []float64{1, 2, 4, 8, 16, 32},
 				},
 			}, lossKnobs("quadratic objective, bit-identical to the pre-loss solver")...),
-			Build: func(iters int, params map[string]float64) harness.TrialFunc {
+			Build: func(iters int, params map[string]float64, unit UnitFactory) harness.TrialFunc {
 				boost := params["boost"]
 				lossIdx, lossShape := lossSelector(params)
 				return func(rate float64, seed uint64) float64 {
@@ -180,7 +187,7 @@ func Workloads() []Workload {
 					if err != nil {
 						return 1e6
 					}
-					u := fpu.New(fpu.WithFaultRate(rate, seed))
+					u := unit(rate, seed)
 					loss, err := lossForTrial(lossIdx, lossShape)
 					if err != nil {
 						return 1e6
@@ -217,7 +224,7 @@ func Workloads() []Workload {
 					Grid: []float64{1, 2, 4, 8},
 				},
 			}, lossKnobs("plain CG on the normal equations, bit-identical to the pre-loss solver")...),
-			Build: func(_ int, params map[string]float64) harness.TrialFunc {
+			Build: func(_ int, params map[string]float64, unit UnitFactory) harness.TrialFunc {
 				budget := intParam(params, "budget")
 				restart := intParam(params, "restart")
 				outer := intParam(params, "outer")
@@ -227,7 +234,7 @@ func Workloads() []Workload {
 					if err != nil {
 						return 1e6
 					}
-					u := fpu.New(fpu.WithFaultRate(rate, seed))
+					u := unit(rate, seed)
 					var x []float64
 					if lossIdx == 0 {
 						x, _, err = inst.SolveCG(u, budget, restart)
@@ -262,13 +269,13 @@ func Workloads() []Workload {
 					Grid: []float64{0.25, 0.5, 1, 2, 4},
 				},
 			}, lossKnobs("plain hinge, bit-identical to the pre-loss trainer")...),
-			Build: func(iters int, params map[string]float64) harness.TrialFunc {
+			Build: func(iters int, params map[string]float64, unit UnitFactory) harness.TrialFunc {
 				lambda, step := params["lambda"], params["step"]
 				lossIdx, lossShape := lossSelector(params)
 				return func(rate float64, seed uint64) float64 {
 					rng := rand.New(rand.NewSource(int64(seed)))
 					data := svm.TwoGaussians(rng, 60, 100, 6, 2.0)
-					u := fpu.New(fpu.WithFaultRate(rate, seed))
+					u := unit(rate, seed)
 					loss, err := lossForTrial(lossIdx, lossShape)
 					if err != nil {
 						return 0
@@ -415,13 +422,20 @@ func lsqInstance(seed uint64) (*leastsq.Instance, error) {
 }
 
 // customPlan compiles a custom sweep to a single-unit figure plan so the
-// engine treats figures and custom sweeps identically.
+// engine treats figures and custom sweeps identically. The spec's fault
+// model — overlaid with any fm_* parameter overrides riding in Params —
+// becomes the unit factory every trial builds its FPU through.
 func customPlan(spec Spec) (*figures.Plan, error) {
 	w, err := WorkloadByName(spec.Custom.Workload)
 	if err != nil {
 		return nil, err
 	}
-	params, err := w.resolveParams(spec.Custom.Params)
+	workloadParams, modelParams := splitModelParams(spec.Custom.Params)
+	params, err := w.resolveParams(workloadParams)
+	if err != nil {
+		return nil, err
+	}
+	model, err := applyModelParams(spec.FaultModel, modelParams)
 	if err != nil {
 		return nil, err
 	}
@@ -452,7 +466,7 @@ func customPlan(spec Spec) (*figures.Plan, error) {
 				Seed:    spec.Seed,
 				Workers: spec.Workers,
 			},
-			Fn: w.Build(iters, params),
+			Fn: w.Build(iters, params, model.Unit),
 		}},
 	}, nil
 }

@@ -98,7 +98,7 @@ func planPenalty(c Config) *Plan {
 
 	apspRun := func(kind core.PenaltyKind) harness.TrialFunc {
 		return func(rate float64, seed uint64) float64 {
-			u := fpu.New(fpu.WithFaultRate(rate, seed))
+			u := c.Unit(rate, seed)
 			d, _, err := apspInst.Robust(u, apsp.Options{Iters: iters, Kind: kind, Tail: iters / 5})
 			if err != nil {
 				return 1e6
@@ -108,7 +108,7 @@ func planPenalty(c Config) *Plan {
 	}
 	flowRun := func(kind core.PenaltyKind) harness.TrialFunc {
 		return func(rate float64, seed uint64) float64 {
-			u := fpu.New(fpu.WithFaultRate(rate, seed))
+			u := c.Unit(rate, seed)
 			value, _, err := flowInst.Robust(u, maxflow.Options{Iters: iters, Kind: kind, Tail: iters / 5})
 			if err != nil {
 				return 1e6
@@ -159,11 +159,11 @@ func planSVM(c Config) *Plan {
 		},
 		Units: []Unit{
 			{Series: "perceptron", Agg: "mean", Sweep: sweep, Fn: func(rate float64, seed uint64) float64 {
-				u := fpu.New(fpu.WithFaultRate(rate, seed))
+				u := c.Unit(rate, seed)
 				return data.Accuracy(svm.Perceptron(u, data, 10))
 			}},
 			{Series: "robust-pegasos", Agg: "mean", Sweep: sweep, Fn: func(rate float64, seed uint64) float64 {
-				u := fpu.New(fpu.WithFaultRate(rate, seed))
+				u := c.Unit(rate, seed)
 				w, _, err := svm.Train(u, data, svm.Options{Iters: iters})
 				if err != nil {
 					return 0

@@ -8,7 +8,6 @@ import (
 	"robustify/internal/apps/apsp"
 	"robustify/internal/apps/eigen"
 	"robustify/internal/apps/maxflow"
-	"robustify/internal/fpu"
 	"robustify/internal/harness"
 )
 
@@ -42,11 +41,11 @@ func planGraphLP(c Config) *Plan {
 		},
 		Units: []Unit{
 			{Series: "maxflow/FordFulkerson", Agg: "median", Sweep: sweep, Fn: func(rate float64, seed uint64) float64 {
-				u := fpu.New(fpu.WithFaultRate(rate, seed))
+				u := c.Unit(rate, seed)
 				return capErr(flowInst.RelErr(flowInst.Baseline(u)))
 			}},
 			{Series: "maxflow/robust-LP", Agg: "median", Sweep: sweep, Fn: func(rate float64, seed uint64) float64 {
-				u := fpu.New(fpu.WithFaultRate(rate, seed))
+				u := c.Unit(rate, seed)
 				value, _, err := flowInst.Robust(u, maxflow.Options{Iters: iters, Tail: iters / 5})
 				if err != nil {
 					return 1e6
@@ -54,11 +53,11 @@ func planGraphLP(c Config) *Plan {
 				return capErr(flowInst.RelErr(value))
 			}},
 			{Series: "apsp/FloydWarshall", Agg: "median", Sweep: sweep, Fn: func(rate float64, seed uint64) float64 {
-				u := fpu.New(fpu.WithFaultRate(rate, seed))
+				u := c.Unit(rate, seed)
 				return capErr(apspInst.MeanRelErr(apspInst.Baseline(u)))
 			}},
 			{Series: "apsp/robust-LP", Agg: "median", Sweep: sweep, Fn: func(rate float64, seed uint64) float64 {
-				u := fpu.New(fpu.WithFaultRate(rate, seed))
+				u := c.Unit(rate, seed)
 				d, _, err := apspInst.Robust(u, apsp.Options{Iters: iters, Tail: iters / 5})
 				if err != nil {
 					return 1e6
@@ -105,12 +104,12 @@ func planEigen(c Config) *Plan {
 		},
 		Units: []Unit{
 			{Series: "power-iteration", Agg: "median", Sweep: sweep, Fn: func(rate float64, seed uint64) float64 {
-				u := fpu.New(fpu.WithFaultRate(rate, seed))
+				u := c.Unit(rate, seed)
 				lambda, _ := eigen.PowerIteration(u, m, powIters)
 				return score(lambda)
 			}},
 			{Series: "robust-rayleigh", Agg: "median", Sweep: sweep, Fn: func(rate float64, seed uint64) float64 {
-				u := fpu.New(fpu.WithFaultRate(rate, seed))
+				u := c.Unit(rate, seed)
 				lambda, _, err := eigen.TopEigen(u, m, eigen.Options{Iters: iters})
 				if err != nil {
 					return 1e6

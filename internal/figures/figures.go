@@ -18,6 +18,7 @@ import (
 	"robustify/internal/apps/matching"
 	"robustify/internal/apps/robsort"
 	"robustify/internal/fpu"
+	"robustify/internal/fpu/faultmodel"
 	"robustify/internal/harness"
 	"robustify/internal/solver"
 )
@@ -33,6 +34,12 @@ type Config struct {
 	// Workers bounds sweep parallelism (0 = GOMAXPROCS); it never affects
 	// results, only scheduling.
 	Workers int
+	// FaultModel selects the injection model every faulty trial unit runs
+	// under (see fpu/faultmodel). Nil keeps the default model and is
+	// bit-identical to the pre-faultmodel builders per seed. Builders that
+	// pin a specific injector by design (the distribution ablation) ignore
+	// it.
+	FaultModel *faultmodel.Spec
 }
 
 func (c Config) trials(def, quick int) int {
@@ -43,6 +50,14 @@ func (c Config) trials(def, quick int) int {
 		return quick
 	}
 	return def
+}
+
+// Unit builds one trial's FPU under the configured fault model — the one
+// construction point every builder shares, so campaign specs select the
+// model for all of them at once. Rate 0 yields a reliable unit under every
+// model.
+func (c Config) Unit(rate float64, seed uint64) *fpu.Unit {
+	return c.FaultModel.Unit(rate, seed)
 }
 
 // Builder constructs one figure.
@@ -177,7 +192,7 @@ func plan61(c Config) *Plan {
 	runRobust := func(opts robsort.Options) harness.TrialFunc {
 		return func(rate float64, seed uint64) float64 {
 			data := dataFor(seed)
-			u := fpu.New(fpu.WithFaultRate(rate, seed))
+			u := c.Unit(rate, seed)
 			out, _, err := robsort.Robust(u, data, opts)
 			if err != nil {
 				return 0
@@ -190,7 +205,7 @@ func plan61(c Config) *Plan {
 	units := []Unit{
 		{Series: "Base", Agg: "mean", Sweep: sweep, Fn: func(rate float64, seed uint64) float64 {
 			data := dataFor(seed)
-			u := fpu.New(fpu.WithFaultRate(rate, seed))
+			u := c.Unit(rate, seed)
 			return b2f(robsort.Success(robsort.Baseline(u, data), data))
 		}},
 		{Series: "SGD", Agg: "mean", Sweep: sweep, Fn: runRobust(robsort.Options{Iters: iters, Schedule: ls})},
@@ -239,7 +254,7 @@ func plan62(c Config) *Plan {
 
 	runSGD := func(o leastsq.SGDOptions) harness.TrialFunc {
 		return func(rate float64, seed uint64) float64 {
-			u := fpu.New(fpu.WithFaultRate(rate, seed))
+			u := c.Unit(rate, seed)
 			x, _, err := inst.SolveSGD(u, o)
 			if err != nil {
 				return 1e30
@@ -249,7 +264,7 @@ func plan62(c Config) *Plan {
 	}
 	units := []Unit{
 		{Series: "Base: SVD", Agg: "median", Sweep: sweep, Fn: func(rate float64, seed uint64) float64 {
-			u := fpu.New(fpu.WithFaultRate(rate, seed))
+			u := c.Unit(rate, seed)
 			return capErr(inst.RelErr(inst.SolveSVD(u)))
 		}},
 		{Series: "SGD,LS", Agg: "median", Sweep: sweep, Fn: runSGD(leastsq.SGDOptions{
@@ -302,7 +317,7 @@ func plan63(c Config) *Plan {
 
 	runRobust := func(o iir.Options) harness.TrialFunc {
 		return func(rate float64, seed uint64) float64 {
-			u := fpu.New(fpu.WithFaultRate(rate, seed))
+			u := c.Unit(rate, seed)
 			y, _, err := filter.Robust(u, signal, o)
 			if err != nil {
 				return 1e30
@@ -312,7 +327,7 @@ func plan63(c Config) *Plan {
 	}
 	units := []Unit{
 		{Series: "Base", Agg: "median", Sweep: sweep, Fn: func(rate float64, seed uint64) float64 {
-			u := fpu.New(fpu.WithFaultRate(rate, seed))
+			u := c.Unit(rate, seed)
 			return capErr(iir.ErrorToSignal(filter.Feedforward(u, signal), ideal))
 		}},
 		{Series: "SGD,LS", Agg: "median", Sweep: sweep, Fn: runRobust(iir.Options{
@@ -350,7 +365,7 @@ func plan64(c Config) *Plan {
 	runRobust := func(opts matching.Options) harness.TrialFunc {
 		return func(rate float64, seed uint64) float64 {
 			inst := pick(seed)
-			u := fpu.New(fpu.WithFaultRate(rate, seed))
+			u := c.Unit(rate, seed)
 			assign, _, err := inst.Robust(u, opts)
 			if err != nil {
 				return 0
@@ -364,7 +379,7 @@ func plan64(c Config) *Plan {
 	units := []Unit{
 		{Series: "Base", Agg: "mean", Sweep: sweep, Fn: func(rate float64, seed uint64) float64 {
 			inst := pick(seed)
-			u := fpu.New(fpu.WithFaultRate(rate, seed))
+			u := c.Unit(rate, seed)
 			return b2f(inst.Success(inst.Baseline(u)))
 		}},
 		{Series: "SGD,LS", Agg: "mean", Sweep: sweep, Fn: runRobust(matching.Options{Iters: iters, Schedule: ls})},
@@ -404,7 +419,7 @@ func plan65(c Config) *Plan {
 	units := []Unit{
 		{Series: "Non-robust", Agg: "mean", Sweep: sweep, Fn: func(rate float64, seed uint64) float64 {
 			inst := pick(seed)
-			u := fpu.New(fpu.WithFaultRate(rate, seed))
+			u := c.Unit(rate, seed)
 			return b2f(inst.Success(inst.Baseline(u)))
 		}},
 	}
@@ -414,7 +429,7 @@ func plan65(c Config) *Plan {
 			Series: v.Name, Agg: "mean", Sweep: sweep,
 			Fn: func(rate float64, seed uint64) float64 {
 				inst := pick(seed)
-				u := fpu.New(fpu.WithFaultRate(rate, seed))
+				u := c.Unit(rate, seed)
 				assign, _, err := inst.Robust(u, opts)
 				if err != nil {
 					return 0
@@ -454,7 +469,7 @@ func plan66(c Config) *Plan {
 	sweep := harness.Sweep{Rates: lsqRates(c.Quick), Trials: trials, Seed: c.Seed + 66, Workers: c.Workers}
 	base := func(solve func(*fpu.Unit) []float64) harness.TrialFunc {
 		return func(rate float64, seed uint64) float64 {
-			u := fpu.New(fpu.WithFaultRate(rate, seed))
+			u := c.Unit(rate, seed)
 			return capErr(inst.RelErr(solve(u)))
 		}
 	}
@@ -463,7 +478,7 @@ func plan66(c Config) *Plan {
 		{Series: "Base: SVD", Agg: "median", Sweep: sweep, Fn: base(inst.SolveSVD)},
 		{Series: "Base: Cholesky", Agg: "median", Sweep: sweep, Fn: base(inst.SolveCholesky)},
 		{Series: "CG, N=10", Agg: "median", Sweep: sweep, Fn: func(rate float64, seed uint64) float64 {
-			u := fpu.New(fpu.WithFaultRate(rate, seed))
+			u := c.Unit(rate, seed)
 			x, _, err := inst.SolveCG(u, 10, 5)
 			if err != nil {
 				return 1e30
@@ -552,7 +567,7 @@ func planMomentum(c Config) *Plan {
 			for i, p := range rng.Perm(5) {
 				data[i] = float64(p+1) * 2.5
 			}
-			u := fpu.New(fpu.WithFaultRate(rate, seed))
+			u := c.Unit(rate, seed)
 			out, _, err := robsort.Robust(u, data, robsort.Options{
 				Iters: iters, Schedule: solver.Linear(0.1), Momentum: momentum})
 			if err != nil {
@@ -564,7 +579,7 @@ func planMomentum(c Config) *Plan {
 	matchRun := func(momentum float64) harness.TrialFunc {
 		return func(rate float64, seed uint64) float64 {
 			inst := pick(seed)
-			u := fpu.New(fpu.WithFaultRate(rate, seed))
+			u := c.Unit(rate, seed)
 			assign, _, err := inst.Robust(u, matching.Options{
 				Iters: iters, Schedule: solver.Linear(0.5 / 6), Momentum: momentum})
 			if err != nil {

@@ -5,7 +5,6 @@ import (
 	"math/rand"
 
 	"robustify/internal/apps/leastsq"
-	"robustify/internal/fpu"
 	"robustify/internal/harness"
 	"robustify/internal/robust"
 )
@@ -45,7 +44,7 @@ func planRobustLoss(c Config) *Plan {
 					return 1e6
 				}
 			}
-			u := fpu.New(fpu.WithFaultRate(rate, seed))
+			u := c.Unit(rate, seed)
 			x, _, err := inst.SolveSGD(u, leastsq.SGDOptions{Iters: iters, Loss: loss})
 			if err != nil {
 				return 1e6

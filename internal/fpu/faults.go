@@ -25,7 +25,10 @@ type BitDistribution struct {
 }
 
 // NewBitDistribution builds a distribution from non-negative weights, one per
-// bit position. Weights are normalized; at least one must be positive.
+// bit position. Weights are normalized; at least one must be positive —
+// all-zero weights panic rather than falling back to uniform, because a
+// silently-uniform "exponent-only" distribution would corrupt a stratified
+// fault-model study without any signal.
 func NewBitDistribution(name string, weights [WordBits]float64) BitDistribution {
 	var d BitDistribution
 	d.name = name
@@ -37,11 +40,7 @@ func NewBitDistribution(name string, weights [WordBits]float64) BitDistribution 
 		total += w
 	}
 	if total <= 0 {
-		// Degenerate input: fall back to uniform.
-		for i := range weights {
-			weights[i] = 1
-		}
-		total = WordBits
+		panic("fpu: NewBitDistribution(" + name + ") needs at least one positive weight")
 	}
 	var acc float64
 	for i, w := range weights {
@@ -184,7 +183,8 @@ var emulatedDefault = EmulatedDistribution()
 // Injector corrupts FPU results: at LFSR-scheduled intervals it flips one
 // bit of the result word, with the bit position drawn from a
 // BitDistribution. It is the software equivalent of the paper's
-// software-controlled fault injector module on the FPGA.
+// software-controlled fault injector module on the FPGA, and the default
+// FaultModel — uniform rate, independent per-FLOP faults.
 type Injector struct {
 	rate      float64
 	dist      BitDistribution
@@ -236,6 +236,9 @@ func NewInjector(rate float64, seed uint64, opts ...InjectorOption) *Injector {
 	return in
 }
 
+// Name identifies the default fault model.
+func (in *Injector) Name() string { return "default" }
+
 // Rate returns the configured faults-per-FLOP rate.
 func (in *Injector) Rate() float64 { return in.rate }
 
@@ -277,11 +280,27 @@ func (in *Injector) Apply(v float64) (float64, bool) {
 	if !in.Fire() {
 		return v, false
 	}
-	return in.flip(v), true
+	return in.Corrupt(v), true
 }
 
-// flip corrupts v by flipping one distribution-drawn bit.
-func (in *Injector) flip(v float64) float64 {
+// Corrupt flips one distribution-drawn bit of v.
+func (in *Injector) Corrupt(v float64) float64 {
 	bit := in.dist.Sample(in.rng.Float64())
 	return math.Float64frombits(math.Float64bits(v) ^ (1 << uint(bit)))
+}
+
+// SafeOps returns how many upcoming operations are guaranteed fault-free:
+// everything before the scheduled countdown expiry.
+func (in *Injector) SafeOps() uint64 {
+	if in.countdown == math.MaxUint64 {
+		return math.MaxUint64
+	}
+	return in.countdown - 1
+}
+
+// ConsumeSafe accounts n fault-free operations against the countdown.
+func (in *Injector) ConsumeSafe(n uint64) {
+	if in.countdown != math.MaxUint64 {
+		in.countdown -= n
+	}
 }

@@ -2,6 +2,7 @@ package fpu
 
 import (
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -241,15 +242,20 @@ func TestMeasuredDistributionIsBimodal(t *testing.T) {
 }
 
 func TestNewBitDistributionDegenerate(t *testing.T) {
+	// All-zero weights must panic loudly: a silent uniform fallback would
+	// let an "exponent-only" distribution built from mistyped weights run a
+	// whole stratified study with uniform flips and no signal.
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("NewBitDistribution with all-zero weights did not panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "positive weight") {
+			t.Errorf("panic = %v, want a positive-weight message", r)
+		}
+	}()
 	var zero [WordBits]float64
-	d := NewBitDistribution("z", zero)
-	var total float64
-	for bit := 0; bit < WordBits; bit++ {
-		total += d.Prob(bit)
-	}
-	if math.Abs(total-1) > 1e-9 {
-		t.Errorf("degenerate weights: total = %v, want uniform fallback", total)
-	}
+	NewBitDistribution("z", zero)
 }
 
 func TestHinge(t *testing.T) {

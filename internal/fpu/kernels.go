@@ -3,21 +3,24 @@ package fpu
 // Batched kernels: the vector fast path of the simulated FPU.
 //
 // The scalar methods (Add, Mul, …) pay one method call, one accounting
-// update, and one injector check per floating point operation, which
+// update, and one fault-schedule check per floating point operation, which
 // dominates the runtime of every figure sweep. The kernels below exploit
-// the injector's fault schedule instead: the countdown says exactly how
+// the fault model's schedule instead: FaultModel.SafeOps says exactly how
 // many upcoming operations are guaranteed fault-free, so between faults a
 // kernel runs a plain tight Go loop with no per-element dispatch, charges
-// FLOP and energy accounting in bulk, and routes only the operations at a
-// countdown expiry through the injector.
+// FLOP and energy accounting in bulk via ConsumeSafe, and routes only the
+// at-risk operations after each safe run through the model's Fire/Corrupt
+// path.
 //
 // Every kernel is bit-identical to the equivalent scalar-method loop under
-// the same injector seed: same operation order, same per-operation
+// the same model seed: same operation order, same per-operation
 // single-precision rounding, same LFSR draws, same flipped bits, and the
-// same FLOP, per-op, and fault counters. The only permitted divergence is
-// the energy accumulator, which is charged as opEnergy×n in one step
-// rather than by n repeated additions and may therefore differ from the
-// scalar path in the last ulp when opEnergy is not exactly representable.
+// same FLOP, per-op, and fault counters — the FaultModel contract requires
+// exactly this scalar/batched indistinguishability of every model. The
+// only permitted divergence is the energy accumulator, which is charged as
+// opEnergy×n in one step rather than by n repeated additions and may
+// therefore differ from the scalar path in the last ulp when opEnergy is
+// not exactly representable.
 //
 // The explicit float64 conversions around products in the tight loops are
 // load-bearing: they force the product to round separately from the
@@ -25,10 +28,7 @@ package fpu
 // otherwise break bit-compatibility with the scalar path on architectures
 // where the compiler fuses.
 
-import (
-	"errors"
-	"math"
-)
+import "errors"
 
 // ErrKernelLen is the panic value for kernel operand length mismatches,
 // mirroring linalg.ErrShape (which fpu cannot import) as an inspectable
@@ -52,50 +52,67 @@ func (u *Unit) chargePair(op1, op2 Op, n int) {
 
 // soloRun returns how many single-operation elements can run fault-free,
 // capped at rem, and consumes their operations from the fault schedule.
-// When the return value is less than rem, the next operation faults.
+// When the return value is less than rem, the next operation is at risk
+// and must go through injectOp.
 func (u *Unit) soloRun(rem int) int {
-	if u.inj == nil || u.inj.countdown == math.MaxUint64 {
+	if u.model == nil {
 		return rem
 	}
-	c := u.inj.countdown
-	if safe := c - 1; safe >= uint64(rem) {
-		u.inj.countdown = c - uint64(rem)
-		return rem
-	}
-	u.inj.countdown = 1
-	return int(c - 1)
-}
-
-// pairRun is soloRun for elements costing two operations each. When the
-// return value is less than rem, the next element spans a fault.
-func (u *Unit) pairRun(rem int) int {
-	if u.inj == nil || u.inj.countdown == math.MaxUint64 {
-		return rem
-	}
-	c := u.inj.countdown
-	safe := (c - 1) / 2
+	safe := u.model.SafeOps()
 	if safe >= uint64(rem) {
-		u.inj.countdown = c - 2*uint64(rem)
+		u.model.ConsumeSafe(uint64(rem))
 		return rem
 	}
-	u.inj.countdown = c - 2*safe
+	u.model.ConsumeSafe(safe)
 	return int(safe)
 }
 
-// injectOp mirrors commit's rounding and injection for one operation whose
-// accounting has already been bulk-charged.
+// pairRun is soloRun for elements costing two operations each. When the
+// return value is less than rem, the next element spans an at-risk
+// operation.
+func (u *Unit) pairRun(rem int) int {
+	if u.model == nil {
+		return rem
+	}
+	safe := u.model.SafeOps() / 2
+	if safe >= uint64(rem) {
+		u.model.ConsumeSafe(2 * uint64(rem))
+		return rem
+	}
+	u.model.ConsumeSafe(2 * safe)
+	return int(safe)
+}
+
+// injectOp mirrors commit's rounding, NaN canonicalization, and injection
+// for one operation whose accounting has already been bulk-charged.
 func (u *Unit) injectOp(v float64) float64 {
 	if u.single {
 		v = float64(float32(v))
 	}
-	if u.inj == nil {
+	if u.model == nil {
 		return v
 	}
-	out, faulted := u.inj.Apply(v)
-	if faulted {
-		u.faults++
+	if v != v {
+		v = canonNaN
 	}
-	return out
+	if u.model.Fire() {
+		u.faults++
+		v = u.model.Corrupt(v)
+	}
+	return v
+}
+
+// fix is the tight-loop counterpart of commit's NaN canonicalization: every
+// per-element result a kernel stores while a fault model is installed must
+// collapse NaNs to canonNaN, exactly as the scalar methods do, or the two
+// paths diverge on the first ambiguous-payload NaN (see canonNaN). The
+// v != v test is false for all non-NaN values, so the branch costs one
+// predictable compare per element.
+func (u *Unit) fix(v float64) float64 {
+	if v != v && u.model != nil {
+		return canonNaN
+	}
+	return v
 }
 
 // Dot returns aᵀb, bit-identical to the scalar loop
@@ -118,11 +135,11 @@ func (u *Unit) Dot(a, b []float64) float64 {
 		run := i + u.pairRun(n-i)
 		if u.single {
 			for ; i < run; i++ {
-				s = float64(float32(s + float64(float32(a[i]*b[i]))))
+				s = u.fix(float64(float32(s + float64(float32(a[i]*b[i])))))
 			}
 		} else {
 			for ; i < run; i++ {
-				s += float64(a[i] * b[i])
+				s = u.fix(s + float64(a[i]*b[i]))
 			}
 		}
 		if i < n {
@@ -154,11 +171,11 @@ func (u *Unit) DotRev(a, b []float64) float64 {
 		run := i + u.pairRun(n-i)
 		if u.single {
 			for ; i < run; i++ {
-				s = float64(float32(s + float64(float32(a[i]*b[n-1-i]))))
+				s = u.fix(float64(float32(s + float64(float32(a[i]*b[n-1-i])))))
 			}
 		} else {
 			for ; i < run; i++ {
-				s += float64(a[i] * b[n-1-i])
+				s = u.fix(s + float64(a[i]*b[n-1-i]))
 			}
 		}
 		if i < n {
@@ -187,11 +204,11 @@ func (u *Unit) Axpy(alpha float64, x, y []float64) {
 		run := i + u.pairRun(n-i)
 		if u.single {
 			for ; i < run; i++ {
-				y[i] = float64(float32(y[i] + float64(float32(alpha*x[i]))))
+				y[i] = u.fix(float64(float32(y[i] + float64(float32(alpha*x[i])))))
 			}
 		} else {
 			for ; i < run; i++ {
-				y[i] += float64(alpha * x[i])
+				y[i] = u.fix(y[i] + float64(alpha*x[i]))
 			}
 		}
 		if i < n {
@@ -219,11 +236,11 @@ func (u *Unit) Xpay(x []float64, alpha float64, y []float64) {
 		run := i + u.pairRun(n-i)
 		if u.single {
 			for ; i < run; i++ {
-				y[i] = float64(float32(x[i] + float64(float32(alpha*y[i]))))
+				y[i] = u.fix(float64(float32(x[i] + float64(float32(alpha*y[i])))))
 			}
 		} else {
 			for ; i < run; i++ {
-				y[i] = x[i] + float64(alpha*y[i])
+				y[i] = u.fix(x[i] + float64(alpha*y[i]))
 			}
 		}
 		if i < n {
@@ -249,11 +266,11 @@ func (u *Unit) Sum(x []float64) float64 {
 		run := i + u.soloRun(n-i)
 		if u.single {
 			for ; i < run; i++ {
-				s = float64(float32(s + x[i]))
+				s = u.fix(float64(float32(s + x[i])))
 			}
 		} else {
 			for ; i < run; i++ {
-				s += x[i]
+				s = u.fix(s + x[i])
 			}
 		}
 		if i < n {
@@ -279,11 +296,11 @@ func (u *Unit) Scale(alpha float64, x []float64) {
 		run := i + u.soloRun(n-i)
 		if u.single {
 			for ; i < run; i++ {
-				x[i] = float64(float32(alpha * x[i]))
+				x[i] = u.fix(float64(float32(alpha * x[i])))
 			}
 		} else {
 			for ; i < run; i++ {
-				x[i] = alpha * x[i]
+				x[i] = u.fix(alpha * x[i])
 			}
 		}
 		if i < n {
@@ -311,11 +328,11 @@ func (u *Unit) AddVec(a, b, dst []float64) {
 		run := i + u.soloRun(n-i)
 		if u.single {
 			for ; i < run; i++ {
-				dst[i] = float64(float32(a[i] + b[i]))
+				dst[i] = u.fix(float64(float32(a[i] + b[i])))
 			}
 		} else {
 			for ; i < run; i++ {
-				dst[i] = a[i] + b[i]
+				dst[i] = u.fix(a[i] + b[i])
 			}
 		}
 		if i < n {
@@ -343,11 +360,11 @@ func (u *Unit) SubVec(a, b, dst []float64) {
 		run := i + u.soloRun(n-i)
 		if u.single {
 			for ; i < run; i++ {
-				dst[i] = float64(float32(a[i] - b[i]))
+				dst[i] = u.fix(float64(float32(a[i] - b[i])))
 			}
 		} else {
 			for ; i < run; i++ {
-				dst[i] = a[i] - b[i]
+				dst[i] = u.fix(a[i] - b[i])
 			}
 		}
 		if i < n {

@@ -1,0 +1,54 @@
+package fpu
+
+// FaultModel is the pluggable fault-injection strategy of a Unit: it decides,
+// deterministically per seed, which FPU results are corrupted and how. The
+// default implementation is *Injector (uniform-rate, LFSR-spaced single-bit
+// flips — the paper's FPGA injector); internal/fpu/faultmodel adds
+// significance-stratified, burst/correlated, and memory-resident variants.
+//
+// The contract has two halves. The scalar half mirrors the hardware:
+// Fire accounts one committed operation against the fault schedule and
+// reports whether its result is corrupted; Corrupt then produces the faulty
+// word. The batched half keeps the kernel fast path: SafeOps reports how
+// many upcoming operations are guaranteed fault-free, and ConsumeSafe
+// accounts a block of them in one step. A model must make the two halves
+// indistinguishable — for any op stream, routing n ops through Fire must
+// leave the model in exactly the state of ConsumeSafe over the safe prefix
+// plus Fire at the at-risk op. That equivalence is what makes the batched
+// kernels bit-identical to the scalar methods under every model.
+//
+// Models are not safe for concurrent use; like a Unit, each worker owns its
+// own instance.
+type FaultModel interface {
+	// Name identifies the model family ("default", "stratified", ...).
+	Name() string
+	// Rate returns the configured average faults per operation (for the
+	// memory model: per word scanned).
+	Rate() float64
+	// Injected returns how many faults the model has delivered.
+	Injected() uint64
+	// Fire accounts one operation against the fault schedule and reports
+	// whether that operation's result is corrupted.
+	Fire() bool
+	// Corrupt returns the corrupted form of v. It is called only after
+	// Fire reported true for the operation producing v.
+	Corrupt(v float64) float64
+	// SafeOps returns how many upcoming operations are guaranteed
+	// fault-free. The operation after the safe run is merely at risk: it
+	// must still be routed through Fire, which may report false (burst
+	// windows corrupt probabilistically).
+	SafeOps() uint64
+	// ConsumeSafe accounts n fault-free operations, n <= SafeOps().
+	ConsumeSafe(n uint64)
+}
+
+// MemoryFaulter is implemented by fault models that corrupt stored data
+// between solver iterations rather than (or in addition to) FPU results.
+// Solvers expose their persistent state via Unit.CorruptSlice at iteration
+// boundaries; models without the interface leave memory untouched.
+type MemoryFaulter interface {
+	// CorruptSlice exposes one stored vector to the model, which may flip
+	// bits in place. The scan consumes the model's fault schedule word by
+	// word, so placement is deterministic per seed.
+	CorruptSlice(xs []float64)
+}

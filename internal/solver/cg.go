@@ -69,6 +69,13 @@ func CG(u *fpu.Unit, mul MulFunc, b, x0 []float64, opts CGOptions) (Result, erro
 	rs := linalg.Dot(u, r, r)
 
 	for k := 1; k <= opts.Iters; k++ {
+		// The iterate, residual, and search direction persist across
+		// iterations — the stored state memory-resident fault models
+		// strike. Under every FLOP-level model the hooks are pinned
+		// no-ops, so they cannot perturb existing per-seed results.
+		u.CorruptSlice(x)
+		u.CorruptSlice(r)
+		u.CorruptSlice(p)
 		if opts.RestartEvery > 0 && k > 1 && (k-1)%opts.RestartEvery == 0 {
 			if !restart() {
 				res.Skipped++
@@ -194,6 +201,9 @@ func IRLS(u *fpu.Unit, a *linalg.Dense, b []float64, loss robust.Robustifier, x0
 	var total Result
 	total.Value = math.NaN()
 	for round := 0; round < opts.Outer; round++ {
+		// The outer iterate is stored state between rounds; the inner CG
+		// exposes its own vectors per iteration.
+		u.CorruptSlice(x)
 		// Residual and weights on the stochastic unit.
 		a.MulVec(u, x, r)
 		linalg.Sub(u, r, b, r)

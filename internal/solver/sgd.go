@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"robustify/internal/core"
+	"robustify/internal/fpu"
 	"robustify/internal/linalg"
 )
 
@@ -90,6 +91,13 @@ type Options struct {
 	// Callback, when non-nil, observes the iterate after every accepted
 	// main-phase step (reliable path; must not modify x).
 	Callback func(iter int, x []float64)
+	// Unit, when non-nil, exposes the iterate to memory-resident fault
+	// models between iterations (fpu.Unit.CorruptSlice): stored state is
+	// where those models strike. Under every FLOP-level model — including
+	// the default — the hook is a pinned no-op that charges nothing and
+	// never advances the fault schedule, so wiring it cannot perturb
+	// per-seed results.
+	Unit *fpu.Unit
 }
 
 // Result reports the outcome of a solve.
@@ -149,6 +157,9 @@ func SGD(p core.Problem, x0 []float64, opts Options) (Result, error) {
 	lastStep := 0.0
 
 	for t := 1; t <= opts.Iters; t++ {
+		// The iterate is the solver's only state that persists across
+		// iterations — the memory-resident model's target.
+		opts.Unit.CorruptSlice(x)
 		if opts.Anneal != nil && annealable != nil && t%opts.Anneal.Every == 0 {
 			if cur := annealable.AnnealParam(); cur != 0 {
 				//lint:fpu-exempt annealing schedule is reliable control arithmetic, not simulated-machine math
@@ -272,6 +283,7 @@ func aggressivePhase(p core.Problem, x, grad, dir, xPrev []float64, lastStep flo
 		}
 	}()
 	for i := 0; i < a.MaxIters; i++ {
+		opts.Unit.CorruptSlice(x)
 		p.Grad(x, grad)
 		res.Iters++
 		if !opts.DisableGuard && !gradOK(grad, opts.GuardThreshold) {

@@ -615,9 +615,10 @@ func (r *run) submitEval(cm *campaign.Manager, cfg map[string]float64, trials in
 			Agg:      r.spec.Agg,
 			Params:   cloneParams(cfg),
 		},
-		Trials:  trials,
-		Seed:    e.Seed,
-		Workers: r.spec.Workers,
+		Trials:     trials,
+		Seed:       e.Seed,
+		Workers:    r.spec.Workers,
+		FaultModel: r.spec.FaultModel,
 	}
 	adopted := false
 	if adopt {

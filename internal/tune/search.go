@@ -37,7 +37,7 @@ func searchLoop(spec *Spec, w campaign.Workload, batch evalBatchFunc) (map[strin
 		}
 		return a < b
 	}
-	cur := w.DefaultParams()
+	cur := spec.defaultParams(w)
 	finalObj := worst
 	if w.Maximize {
 		finalObj = -worst
@@ -45,7 +45,7 @@ func searchLoop(spec *Spec, w campaign.Workload, batch evalBatchFunc) (map[strin
 	for round := 0; round < spec.rounds(); round++ {
 		improved := false
 		for _, name := range spec.searchKnobs(w) {
-			k, _ := w.KnobByName(name)
+			k, _ := spec.knobByName(w, name)
 			winner, obj, err := halve(spec, k, cur, better, batch)
 			if err != nil {
 				return nil, 0, err

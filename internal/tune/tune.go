@@ -29,6 +29,7 @@ import (
 	"fmt"
 
 	"robustify/internal/campaign"
+	"robustify/internal/fpu/faultmodel"
 	"robustify/internal/harness"
 )
 
@@ -74,6 +75,12 @@ type Spec struct {
 	// Workers bounds per-evaluation trial parallelism (0 = GOMAXPROCS).
 	// Scheduling only — it never changes results.
 	Workers int `json:"workers,omitempty"`
+	// FaultModel fixes the injection model every evaluation campaign runs
+	// under (nil = default; see fpu/faultmodel). Selecting a parameterized
+	// family also puts its fm_* parameters (see campaign.ModelKnobs) on
+	// the search grid next to the workload's algorithm knobs, so burst
+	// length or exponent-weight ratio can be tuned like any other knob.
+	FaultModel *faultmodel.Spec `json:"fault_model,omitempty"`
 }
 
 // Title returns the display name of the run.
@@ -106,7 +113,10 @@ func (s *Spec) Validate() error {
 	if err != nil {
 		return err
 	}
-	if len(w.Knobs) == 0 {
+	if err := s.FaultModel.Validate(); err != nil {
+		return err
+	}
+	if len(s.effectiveKnobs(w)) == 0 {
 		return fmt.Errorf("tune: workload %q declares no knobs; nothing to search", s.Workload)
 	}
 	if len(s.Rates) == 0 {
@@ -124,7 +134,7 @@ func (s *Spec) Validate() error {
 		return err
 	}
 	for _, name := range s.Knobs {
-		if _, ok := w.KnobByName(name); !ok {
+		if _, ok := s.knobByName(w, name); !ok {
 			return fmt.Errorf("tune: workload %s has no knob %q", s.Workload, name)
 		}
 	}
@@ -132,11 +142,43 @@ func (s *Spec) Validate() error {
 	// no candidates to race otherwise. Rejecting here keeps a
 	// mis-declared registry entry from wedging the drive goroutine.
 	for _, name := range s.searchKnobs(w) {
-		if k, ok := w.KnobByName(name); !ok || len(k.Grid) == 0 {
+		if k, ok := s.knobByName(w, name); !ok || len(k.Grid) == 0 {
 			return fmt.Errorf("tune: workload %s knob %q declares no search grid", s.Workload, name)
 		}
 	}
 	return nil
+}
+
+// effectiveKnobs is the knob space the search ranges over: the
+// workload's declared knobs followed by the fault-model family's fm_*
+// parameter knobs (none for the default and memory families). Model
+// knobs ride in evaluation Params under their fm_ prefix, which the
+// campaign compiler splits back out (see campaign.ModelKnobs).
+func (s *Spec) effectiveKnobs(w campaign.Workload) []campaign.Knob {
+	knobs := append([]campaign.Knob(nil), w.Knobs...)
+	return append(knobs, campaign.ModelKnobs(s.FaultModel.ModelName())...)
+}
+
+// knobByName resolves a knob from the effective (workload + fault-model)
+// knob space.
+func (s *Spec) knobByName(w campaign.Workload, name string) (campaign.Knob, bool) {
+	for _, k := range s.effectiveKnobs(w) {
+		if k.Name == name {
+			return k, true
+		}
+	}
+	return campaign.Knob{}, false
+}
+
+// defaultParams is the search's starting configuration: every effective
+// knob at its declared default.
+func (s *Spec) defaultParams(w campaign.Workload) map[string]float64 {
+	knobs := s.effectiveKnobs(w)
+	p := make(map[string]float64, len(knobs))
+	for _, k := range knobs {
+		p[k.Name] = k.Default
+	}
+	return p
 }
 
 // WorkloadFor resolves the spec's workload from the campaign registry.
@@ -149,11 +191,13 @@ func WorkloadFor(s *Spec) (campaign.Workload, error) {
 }
 
 // searchKnobs returns the knob names the search walks, in declared
-// order (the spec's subset when given).
+// order — workload knobs then fault-model knobs — or the spec's subset
+// when given.
 func (s *Spec) searchKnobs(w campaign.Workload) []string {
 	if len(s.Knobs) == 0 {
-		names := make([]string, len(w.Knobs))
-		for i, k := range w.Knobs {
+		knobs := s.effectiveKnobs(w)
+		names := make([]string, len(knobs))
+		for i, k := range knobs {
 			names[i] = k.Name
 		}
 		return names

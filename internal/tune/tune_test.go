@@ -15,6 +15,7 @@ import (
 
 	"robustify/internal/campaign"
 	"robustify/internal/dispatch"
+	"robustify/internal/fpu/faultmodel"
 )
 
 // quickSpec is the fast search used across tests: leastsq/cg trials are
@@ -465,5 +466,73 @@ func getJSON(t *testing.T, url string, v any) {
 	}
 	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestTuneModelKnobSearch: fault-model parameters are first-class tuning
+// knobs. A burst-model search over fm_burst_len must range over the model
+// grid, stamp the fault model on every evaluation campaign, and remain
+// byte-deterministic; and a knobless workload becomes tunable once a
+// parameterized model family supplies knobs.
+func TestTuneModelKnobSearch(t *testing.T) {
+	spec := Spec{
+		Workload:   "leastsq/cg",
+		Rates:      []float64{0.05},
+		Trials:     2,
+		Seed:       6,
+		FaultModel: &faultmodel.Spec{Name: faultmodel.Burst},
+		Knobs:      []string{"fm_burst_len"},
+		Rounds:     1,
+	}
+	a := runTune(t, t.TempDir(), spec)
+	b := runTune(t, t.TempDir(), spec)
+	if !bytes.Equal(a, b) {
+		t.Error("model-knob search not byte-deterministic")
+	}
+	var tr Trace
+	if err := json.Unmarshal(a, &tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.State != StateDone {
+		t.Fatalf("state = %s, want done", tr.State)
+	}
+	values := map[float64]bool{}
+	for _, e := range tr.Evals {
+		v, ok := e.Params["fm_burst_len"]
+		if !ok {
+			t.Fatalf("eval %d has no fm_burst_len: %v", e.N, e.Params)
+		}
+		values[v] = true
+	}
+	if len(values) < 2 {
+		t.Errorf("search never varied fm_burst_len: %v", values)
+	}
+	if _, ok := tr.Final["fm_burst_len"]; !ok {
+		t.Errorf("final configuration lost the model knob: %v", tr.Final)
+	}
+
+	// Validation: model knobs exist only under their family.
+	noModel := spec
+	noModel.FaultModel = nil
+	if err := noModel.Validate(); err == nil {
+		t.Error("fm_burst_len accepted without the burst model selected")
+	}
+
+	// A workload with no knobs of its own has a search space once the
+	// model contributes parameters — and none without.
+	knobless := Spec{
+		Workload:   "sort/base",
+		Rates:      []float64{0.05},
+		Trials:     1,
+		Seed:       2,
+		FaultModel: &faultmodel.Spec{Name: faultmodel.Burst},
+		Rounds:     1,
+	}
+	if err := knobless.Validate(); err != nil {
+		t.Errorf("knobless workload with model knobs rejected: %v", err)
+	}
+	knobless.FaultModel = nil
+	if err := knobless.Validate(); err == nil {
+		t.Error("knobless workload with no model knobs accepted")
 	}
 }

@@ -33,6 +33,7 @@ import (
 	"robustify/internal/apps/robsort"
 	"robustify/internal/core"
 	"robustify/internal/fpu"
+	"robustify/internal/fpu/faultmodel"
 	"robustify/internal/linalg"
 	"robustify/internal/robust"
 	"robustify/internal/solver"
@@ -65,6 +66,30 @@ func WithFaultRate(rate float64, seed uint64) FPUOption { return fpu.WithFaultRa
 
 // WithInjector installs a custom fault injector.
 func WithInjector(in *Injector) FPUOption { return fpu.WithInjector(in) }
+
+// FaultModel is the pluggable injection interface: it decides, per
+// committed FLOP, whether and how results corrupt. The stock Injector is
+// one implementation; see fpu/faultmodel for the stratified, burst, and
+// memory-resident families.
+type FaultModel = fpu.FaultModel
+
+// MemoryFaulter marks fault models that corrupt stored vectors between
+// solver iterations (via FPU.CorruptSlice) instead of — or on top of —
+// FLOP results.
+type MemoryFaulter = fpu.MemoryFaulter
+
+// FaultModelSpec names and parameterizes a fault model family; it is the
+// JSON shape campaign specs and the -fault-model / -model CLI flags use.
+// A nil spec selects the default injector, bit-for-bit.
+type FaultModelSpec = faultmodel.Spec
+
+// ParseFaultModel reads a fault model selection from a string: empty or
+// "default" yields nil (the stock injector), a bare name selects a family
+// with default parameters, and a JSON object sets parameters too.
+func ParseFaultModel(s string) (*FaultModelSpec, error) { return faultmodel.Parse(s) }
+
+// WithModel installs a custom fault model on the unit.
+func WithModel(m FaultModel) FPUOption { return fpu.WithModel(m) }
 
 // WithOpEnergy sets the energy charged per FLOP (e.g. VoltageModel.Power
 // at the operating voltage).
