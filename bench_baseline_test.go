@@ -1,0 +1,177 @@
+package robustify_test
+
+// Committed performance trajectory: TestPerfBaseline measures a small set
+// of representative workloads, normalizes them against a fixed pure-Go
+// calibration loop (so the numbers compare across machines of different
+// speeds), and either writes a baseline file or gates against one:
+//
+//	BENCH_BASELINE_WRITE=BENCH_2026-08-07.json go test -run TestPerfBaseline -count=1 .
+//	BENCH_BASELINE_CHECK=BENCH_2026-08-07.json go test -run TestPerfBaseline -count=1 .
+//
+// With neither variable set the test skips, so ordinary `go test ./...`
+// runs never depend on machine speed. CI runs the CHECK form against the
+// newest committed BENCH_*.json and fails on a >20% normalized regression
+// in any entry — catching, e.g., an accidental per-op allocation in the
+// FPU hot path before it lands.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"testing"
+
+	"robustify/internal/figures"
+	"robustify/internal/fpu"
+)
+
+// regressionLimit is the gate: a workload may be at most this factor
+// slower (normalized) than the committed baseline.
+const regressionLimit = 1.20
+
+// baselineFile is the committed perf-trajectory format.
+type baselineFile struct {
+	// CalibrationNs records the calibration loop's absolute time on the
+	// writing machine — context for humans reading the file, not used by
+	// the gate (only normalized ratios are compared).
+	CalibrationNs int64 `json:"calibration_ns"`
+	// Entries maps workload name to its runtime as a multiple of the
+	// calibration loop's runtime on the same machine.
+	Entries map[string]float64 `json:"entries"`
+}
+
+// calibrate times the fixed reference loop: integer-and-float scalar work
+// with no allocation, no bounds-check eliminations to speculate about,
+// and nothing the compiler can fold away. Its runtime tracks single-core
+// scalar throughput, the same resource every measured workload below is
+// bound by.
+func calibrate() time.Duration {
+	const iters = 1 << 24
+	start := time.Now()
+	x, s := uint64(0x9e3779b97f4a7c15), 0.0
+	for i := 0; i < iters; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		s += float64(x&0xffff) * 1.0000001
+	}
+	sinkU, sinkF = x, s
+	return time.Since(start)
+}
+
+// Package-level sinks defeat dead-code elimination of the measured loops.
+var (
+	sinkU uint64
+	sinkF float64
+)
+
+// measure runs fn reps times and returns the fastest run — the estimate
+// least polluted by scheduler noise.
+func measure(reps int, fn func()) time.Duration {
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		fn()
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// baselineWorkloads is the measured set: the FPU scalar and kernel hot
+// paths and one end-to-end quick figure, covering the layers a perf
+// regression is most likely to hide in.
+func baselineWorkloads() map[string]func() {
+	vec := make([]float64, 4096)
+	for i := range vec {
+		vec[i] = 1.0 / float64(i+1)
+	}
+	return map[string]func(){
+		"fpu/scalar-muladd": func() {
+			u := fpu.New(fpu.WithFaultRate(1e-4, 7))
+			s := 0.0
+			for i := 0; i < 2_000_000; i++ {
+				s = u.Add(s, u.Mul(1.0000001, 0.999999))
+			}
+			sinkF = s
+		},
+		"fpu/dot-kernel": func() {
+			u := fpu.New(fpu.WithFaultRate(1e-4, 7))
+			s := 0.0
+			for i := 0; i < 1000; i++ {
+				s += u.Dot(vec, vec)
+			}
+			sinkF = s
+		},
+		"figures/6.1-quick": func() {
+			figures.Lookup("6.1")(figures.Config{Quick: true, Seed: 1})
+		},
+	}
+}
+
+func TestPerfBaseline(t *testing.T) {
+	writePath := os.Getenv("BENCH_BASELINE_WRITE")
+	checkPath := os.Getenv("BENCH_BASELINE_CHECK")
+	if writePath == "" && checkPath == "" {
+		t.Skip("perf baseline: set BENCH_BASELINE_WRITE or BENCH_BASELINE_CHECK to run")
+	}
+
+	cal := calibrate()
+	for i := 0; i < 2; i++ {
+		if d := calibrate(); d < cal {
+			cal = d
+		}
+	}
+	if cal <= 0 {
+		t.Fatalf("calibration loop measured %v", cal)
+	}
+
+	got := make(map[string]float64)
+	for name, fn := range baselineWorkloads() {
+		fn() // warm up: page in code and data before timing
+		d := measure(5, fn)
+		got[name] = float64(d) / float64(cal)
+		t.Logf("%-20s %10v  normalized %.4f", name, d, got[name])
+	}
+
+	if writePath != "" {
+		out := baselineFile{CalibrationNs: cal.Nanoseconds(), Entries: got}
+		b, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(writePath, append(b, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote baseline %s (calibration %v)", writePath, cal)
+	}
+
+	if checkPath != "" {
+		b, err := os.ReadFile(checkPath)
+		if err != nil {
+			t.Fatalf("perf baseline: %v", err)
+		}
+		var base baselineFile
+		if err := json.Unmarshal(b, &base); err != nil {
+			t.Fatalf("perf baseline %s: %v", checkPath, err)
+		}
+		var failures []string
+		for name, want := range base.Entries {
+			have, ok := got[name]
+			if !ok {
+				failures = append(failures, fmt.Sprintf("%s: in baseline but no longer measured", name))
+				continue
+			}
+			if have > want*regressionLimit {
+				failures = append(failures, fmt.Sprintf(
+					"%s: normalized %.4f vs baseline %.4f (+%.0f%%, limit +%.0f%%)",
+					name, have, want, 100*(have/want-1), 100*(regressionLimit-1)))
+			}
+		}
+		for _, f := range failures {
+			t.Error("perf regression: " + f)
+		}
+	}
+}

@@ -5,7 +5,7 @@
 //
 //	robustbench [-fig all|5.1|5.2|6.1|...|6.7|momentum|flops]
 //	            [-trials N] [-seed S] [-quick] [-workers N] [-fault-model M]
-//	            [-csv DIR] [-out DIR] [-resume DIR] [-list]
+//	            [-csv DIR] [-out DIR] [-resume DIR] [-telemetry FILE] [-list]
 //	robustbench -tune WORKLOAD -out DIR [-tune-rates R1,R2] [-tune-knobs K1,K2]
 //	            [-tune-rounds N] [-tune-iters N] [-tune-agg mean|median]
 //	            [-trials N] [-seed S] [-workers N] [-fault-model M]
@@ -15,6 +15,13 @@
 // spec like {"name":"burst","burst_len":128}. It is part of a persisted
 // run's resume identity, and with -tune it also puts the family's fm_*
 // parameters on the search grid.
+//
+// With -telemetry, every faulty FPU built during the run gets a passive
+// fault-placement recorder (see internal/obs), and a per-rate aggregate —
+// faults by op, IEEE-754 bit class, burst clustering, iteration bucket —
+// is written as JSON to FILE ('-' = stdout) when the run completes.
+// Recorders never consume randomness or touch values, so results are
+// bit-identical with or without the flag.
 //
 // With -csv, each figure is additionally written as DIR/fig-<id>.csv.
 // With -out, every completed trial of a sweep-shaped figure is persisted
@@ -34,6 +41,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -49,6 +57,7 @@ import (
 	"robustify/internal/figures"
 	"robustify/internal/fpu/faultmodel"
 	"robustify/internal/harness"
+	"robustify/internal/obs"
 	"robustify/internal/tune"
 )
 
@@ -69,9 +78,11 @@ func run(args []string) error {
 		workers = fs.Int("workers", 0, "sweep worker goroutines (0 = GOMAXPROCS)")
 		fmFlag  = fs.String("fault-model", "", "fault model: name or JSON spec (see fpu/faultmodel; default: the paper's injector)")
 		csvDir  = fs.String("csv", "", "directory for CSV export (optional)")
-		outDir  = fs.String("out", "", "persist per-trial results to campaign stores under DIR")
-		resume  = fs.String("resume", "", "resume persisted campaign stores under DIR (implies -out DIR)")
-		list    = fs.Bool("list", false, "list available figures and exit")
+		teleOut = fs.String("telemetry", "",
+			"write a per-rate fault-placement report (JSON) to FILE after the run ('-' = stdout)")
+		outDir = fs.String("out", "", "persist per-trial results to campaign stores under DIR")
+		resume = fs.String("resume", "", "resume persisted campaign stores under DIR (implies -out DIR)")
+		list   = fs.Bool("list", false, "list available figures and exit")
 
 		tuneW      = fs.String("tune", "", "search WORKLOAD's knob grid instead of building figures (needs -out or -resume)")
 		tuneRates  = fs.String("tune-rates", "0.01,0.05", "fixed fault-rate grid for tune evaluations (comma-separated)")
@@ -113,6 +124,12 @@ func run(args []string) error {
 		return err
 	}
 
+	var collector *obs.Collector
+	if *teleOut != "" {
+		collector = obs.NewCollector()
+		faultmodel.SetUnitObserver(collector.Observer)
+	}
+
 	if *tuneW != "" {
 		rates, err := parseRates(*tuneRates)
 		if err != nil {
@@ -134,7 +151,10 @@ func run(args []string) error {
 				spec.Knobs = append(spec.Knobs, k)
 			}
 		}
-		return runTune(ctx, storeDir, spec)
+		if err := runTune(ctx, storeDir, spec); err != nil {
+			return err
+		}
+		return writeTelemetry(*teleOut, collector)
 	}
 
 	cfg := figures.Config{Trials: *trials, Seed: *seed, Quick: *quick, Workers: *workers, FaultModel: model}
@@ -170,7 +190,41 @@ func run(args []string) error {
 			}
 		}
 	}
-	return nil
+	return writeTelemetry(*teleOut, collector)
+}
+
+// writeTelemetry drains the run's fault recorders, aggregates them per
+// swept fault rate, and writes the report as indented JSON to path
+// ('-' = stdout). A nil collector (no -telemetry) is a no-op.
+func writeTelemetry(path string, collector *obs.Collector) error {
+	if collector == nil {
+		return nil
+	}
+	type rateReport struct {
+		Rate   float64          `json:"rate"`
+		Faults obs.FaultSummary `json:"faults"`
+	}
+	byRate := collector.DrainByRate()
+	rates := make([]float64, 0, len(byRate))
+	for rate := range byRate {
+		//lint:detmap-exempt keys are sorted before use
+		rates = append(rates, rate)
+	}
+	sort.Float64s(rates)
+	report := make([]rateReport, 0, len(rates))
+	for _, rate := range rates {
+		report = append(report, rateReport{Rate: rate, Faults: byRate[rate].Summary()})
+	}
+	b, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if path == "-" {
+		_, err := os.Stdout.Write(b)
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
 }
 
 // runCampaign executes one figure through the campaign engine so every

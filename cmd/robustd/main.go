@@ -27,7 +27,12 @@
 //
 //	robustd [-addr :8080] [-data DIR] [-concurrency N] [-autoresume]
 //	        [-workers-expected N] [-lease-ttl 30s] [-shard-size 16]
-//	        [-shutdown-timeout 30s]
+//	        [-shutdown-timeout 30s] [-debug-addr ADDR] [-mirror-events]
+//
+// -debug-addr mounts net/http/pprof and /debug/events on a second
+// listener (keep it private; the main API serves /debug/events too).
+// -mirror-events additionally appends lifecycle events to each
+// campaign's telemetry.jsonl, beside its store.
 //
 // See README.md for the endpoint list, on-disk layout, and curl examples.
 package main
@@ -40,6 +45,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -48,6 +54,8 @@ import (
 
 	"robustify/internal/campaign"
 	"robustify/internal/dispatch"
+	"robustify/internal/fpu/faultmodel"
+	"robustify/internal/obs"
 	"robustify/internal/tune"
 )
 
@@ -75,6 +83,10 @@ func run(args []string, ready chan<- string) error {
 		shardSize = fs.Int("shard-size", 16, "trials per worker shard lease")
 		shutdownT = fs.Duration("shutdown-timeout", 30*time.Second,
 			"bound on graceful shutdown (SIGTERM/SIGINT); 0 waits indefinitely on in-flight trials")
+		debugAddr = fs.String("debug-addr", "",
+			"optional second listen address for net/http/pprof and /debug/events")
+		mirrorEvents = fs.Bool("mirror-events", false,
+			"mirror lifecycle trace events into each campaign's telemetry.jsonl")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -92,11 +104,28 @@ func run(args []string, ready chan<- string) error {
 		return err
 	}
 	defer tm.Close()
+
+	// Observability hub: lifecycle trace ring, per-trial telemetry
+	// sidecars, latency histograms, and fault-placement recorders. All of
+	// it is diagnostics — trial values and stores are bit-identical with
+	// the hub on or off.
+	hub := obs.NewHub()
+	defer hub.Close()
+	hub.SetMirrorEvents(*mirrorEvents)
+	m.SetHub(hub)
+	tm.SetEvents(hub)
+	m.AddMetrics(hub.WriteMetrics)
+	m.AddMetrics(tm.WriteMetrics)
+	// Every non-reliable FPU built from a fault-model spec gets a fault
+	// recorder; the campaign engine drains them into telemetry per trial.
+	faultmodel.SetUnitObserver(hub.Observer)
+
 	if *workers > 0 {
 		m.SetDispatcher(dispatch.New(dispatch.Options{
 			LeaseTTL:        *leaseTTL,
 			ShardSize:       *shardSize,
 			WorkersExpected: *workers,
+			Events:          hub,
 		}))
 		log.Printf("robustd: dispatching trials to a robustworker fleet (expected %d, lease TTL %s, shard size %d)",
 			*workers, *leaseTTL, *shardSize)
@@ -130,6 +159,27 @@ func run(args []string, ready chan<- string) error {
 	mux.Handle("/tune/", tuneHandler)
 	mux.Handle("/", campaign.NewServer(m))
 	srv := &http.Server{Handler: mux}
+
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		defer dln.Close()
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dmux.HandleFunc("/debug/events", hub.EventsHandler())
+		go func() {
+			if err := http.Serve(dln, dmux); err != nil && !errors.Is(err, net.ErrClosed) {
+				log.Printf("robustd: debug server: %v", err)
+			}
+		}()
+		log.Printf("robustd: debug endpoints (pprof, events) on %s", dln.Addr())
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -17,7 +17,11 @@
 // Usage:
 //
 //	robustworker -coordinator http://host:8080 [-name NAME] [-poll 250ms]
-//	             [-parallel N] [-batch 32]
+//	             [-parallel N] [-batch 32] [-debug-addr ADDR]
+//
+// -debug-addr serves the worker's own /metrics (execution counters,
+// per-workload latency histograms, observed fault classes), /healthz,
+// and net/http/pprof.
 package main
 
 import (
@@ -26,6 +30,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -35,6 +42,7 @@ import (
 
 	"robustify/internal/campaign"
 	"robustify/internal/dispatch"
+	"robustify/internal/fpu/faultmodel"
 )
 
 func main() {
@@ -52,6 +60,8 @@ func run(args []string) error {
 		poll        = fs.Duration("poll", 250*time.Millisecond, "idle poll interval when the coordinator has no work")
 		parallel    = fs.Int("parallel", 0, "trials executed concurrently within a shard (0 = GOMAXPROCS)")
 		batch       = fs.Int("batch", 32, "max trial results per report (capped at 4096)")
+		debugAddr   = fs.String("debug-addr", "",
+			"optional listen address for the worker's /metrics, /healthz, and net/http/pprof")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -74,13 +84,43 @@ func run(args []string) error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	stats := newWstats()
+	// Every non-reliable FPU the trial functions build gets a fault
+	// recorder; runShard folds them into the worker's /metrics counters.
+	// Passive taps: trial values stay bit-identical.
+	faultmodel.SetUnitObserver(stats.collector.Observer)
 	w := &worker{
 		cl:       dispatch.NewClient(*coordinator, *name),
 		poll:     *poll,
 		parallel: *parallel,
 		batch:    *batch,
+		stats:    stats,
 		plans:    make(map[string]*campaign.Campaign),
 		bad:      make(map[string]string),
+	}
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		defer dln.Close()
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("GET /metrics", stats.metricsHandler())
+		dmux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprintln(w, `{"status": "ok"}`)
+		})
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			if err := http.Serve(dln, dmux); err != nil && !errors.Is(err, net.ErrClosed) {
+				log.Printf("robustworker: debug server: %v", err)
+			}
+		}()
+		log.Printf("robustworker: debug endpoints (metrics, pprof) on %s", dln.Addr())
 	}
 	log.Printf("robustworker: %s serving coordinator %s (parallel %d, batch %d)",
 		*name, *coordinator, *parallel, *batch)
@@ -98,6 +138,7 @@ type worker struct {
 	poll     time.Duration
 	parallel int
 	batch    int
+	stats    *wstats
 	// plans caches compiled campaigns by id+spec, so one compile serves
 	// every shard of a campaign; bad remembers specs this build cannot
 	// compile, so version skew is detected without recompiling per lease.
@@ -251,6 +292,8 @@ func (w *worker) runShard(ctx context.Context, lr *dispatch.LeaseResponse) {
 			todo = append(todo, i)
 		}
 	}
+	w.stats.shards.Add(1)
+	label := camp.Spec.MetricLabel()
 
 	// Trial executor pool. sctx aborts it when the lease is lost.
 	sctx, cancel := context.WithCancel(ctx)
@@ -272,7 +315,9 @@ func (w *worker) runShard(ctx context.Context, lr *dispatch.LeaseResponse) {
 					Rate: u.Sweep.Rates[r],
 					Seed: u.Sweep.TrialSeed(r, t),
 				}
+				start := time.Now()
 				res.Value = u.Fn(res.Rate, res.Seed)
+				w.stats.observeTrial(label, time.Since(start), res.Rate, res.Seed)
 				select {
 				case results <- res:
 				case <-sctx.Done():
@@ -386,6 +431,9 @@ func (w *worker) runShard(ctx context.Context, lr *dispatch.LeaseResponse) {
 func (w *worker) report(ctx context.Context, lr *dispatch.LeaseResponse, results []dispatch.TrialResult, done bool) (resp dispatch.ReportResponse, err error) {
 	for attempt := 0; ; attempt++ {
 		resp, err = w.cl.Report(ctx, lr.Campaign, lr.Lease, results, done)
+		if err == nil {
+			w.stats.reports.Add(1)
+		}
 		if err == nil || attempt >= 2 || ctx.Err() != nil {
 			return resp, err
 		}

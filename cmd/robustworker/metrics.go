@@ -1,0 +1,84 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"robustify/internal/obs"
+)
+
+// wstats is the worker's own observability state: monotonic execution
+// counters, per-workload trial latency histograms, and the fold of every
+// trial's fault-placement recorders. It is purely diagnostic — trial
+// values are computed exactly as without it.
+type wstats struct {
+	trials  atomic.Int64
+	shards  atomic.Int64
+	reports atomic.Int64
+
+	lat       *obs.HistSet
+	collector *obs.Collector
+
+	mu     sync.Mutex
+	faults obs.FaultRecorder // merged across all completed trials
+}
+
+func newWstats() *wstats {
+	return &wstats{lat: obs.NewHistSet(), collector: obs.NewCollector()}
+}
+
+// observeTrial records one executed trial: its latency under the
+// workload label, the trial counter, and the fault recorders its faulty
+// units accumulated.
+func (s *wstats) observeTrial(label string, d time.Duration, rate float64, seed uint64) {
+	s.trials.Add(1)
+	s.lat.Observe(label, d)
+	if fr := s.collector.Take(rate, seed); fr != nil {
+		s.mu.Lock()
+		s.faults.Merge(fr)
+		s.mu.Unlock()
+	}
+}
+
+// metricsHandler serves the worker's GET /metrics in Prometheus text
+// exposition format. Stateless like robustd's: counters and histograms
+// only, safe under concurrent scrapes.
+func (s *wstats) metricsHandler() http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		fmt.Fprintf(w, "# HELP robustworker_trials_total Trials executed since worker start.\n")
+		fmt.Fprintf(w, "# TYPE robustworker_trials_total counter\n")
+		fmt.Fprintf(w, "robustworker_trials_total %d\n", s.trials.Load())
+		fmt.Fprintf(w, "# HELP robustworker_shards_total Shard leases executed since worker start.\n")
+		fmt.Fprintf(w, "# TYPE robustworker_shards_total counter\n")
+		fmt.Fprintf(w, "robustworker_shards_total %d\n", s.shards.Load())
+		fmt.Fprintf(w, "# HELP robustworker_reports_total Result batches delivered to the coordinator.\n")
+		fmt.Fprintf(w, "# TYPE robustworker_reports_total counter\n")
+		fmt.Fprintf(w, "robustworker_reports_total %d\n", s.reports.Load())
+
+		s.mu.Lock()
+		f := s.faults
+		s.mu.Unlock()
+		fmt.Fprintf(w, "# HELP robustworker_faults_total Injected faults observed across executed trials, by class.\n")
+		fmt.Fprintf(w, "# TYPE robustworker_faults_total counter\n")
+		for _, c := range []struct {
+			class string
+			n     uint64
+		}{
+			{"value", f.ValueFaults},
+			{"compare", f.CompareFaults},
+			{"sign", f.Sign},
+			{"exponent", f.Exponent},
+			{"mantissa", f.Mantissa},
+			{"multi_bit", f.MultiBit},
+			{"clustered", f.Clustered},
+			{"memory", f.MemFaults},
+		} {
+			fmt.Fprintf(w, "robustworker_faults_total{class=%q} %d\n", c.class, c.n)
+		}
+		s.lat.WriteProm(w, "robustworker_trial_duration_seconds", "workload")
+	}
+}

@@ -117,6 +117,21 @@ func TestNoTimeInArtifactsFixture(t *testing.T) {
 	runFixture(t, "notimeinartifacts", "robustify/internal/campaign", []*Analyzer{NoTimeInArtifacts})
 }
 
+func TestNoTimeInArtifactsObsFixture(t *testing.T) {
+	// The observability layer is inside the analyzer's scope even though
+	// wall-clock handling is its job: the exempted telemetry append
+	// passes, the unexempted timestamp leak is flagged.
+	runFixture(t, "obstelemetry", "robustify/internal/obs", []*Analyzer{NoTimeInArtifacts})
+}
+
+func TestNoTimeInArtifactsObsOutOfScope(t *testing.T) {
+	// The same fixture outside the serialization scopes produces nothing.
+	pkg := loadFixture(t, "obstelemetry")
+	for _, d := range RunPackage(pkg, "robustify/internal/figures", []*Analyzer{NoTimeInArtifacts}) {
+		t.Errorf("out-of-scope diagnostic: %s", d)
+	}
+}
+
 func TestAtomicWriteFixture(t *testing.T) {
 	runFixture(t, "atomicwrite", "robustify/internal/campaign", []*Analyzer{AtomicWrite})
 }

@@ -34,6 +34,12 @@ var timeArtifactScopes = map[string]bool{
 	"robustify/internal/campaign": true,
 	"robustify/internal/tune":     true,
 	"robustify/internal/harness":  true,
+	// The observability layer handles wall-clock values by design — but
+	// only on the diagnostics side. Scoping it here is what enforces the
+	// split: any flow from a time source into a store write or marshal
+	// needs an explicit artifact-time-exempt justification (telemetry.go's
+	// sidecar append is the one legitimate case).
+	"robustify/internal/obs": true,
 }
 
 func runNoTimeInArtifacts(pass *Pass) {

@@ -1,0 +1,61 @@
+// Package obstelemetry exercises the notimeinartifacts analyzer over the
+// observability layer's enforcement split. The fixture runner loads it
+// under robustify/internal/obs: wall-clock values are the layer's stock
+// in trade, but they may only flow into the telemetry sidecar through an
+// explicitly exempted append — any other path from a clock to a
+// serialization sink is a leak into what could become a resume-identity
+// artifact.
+package obstelemetry
+
+import (
+	"encoding/json"
+	"os"
+	"time"
+)
+
+// envelope mirrors the telemetry sidecar's wire form: a timestamped
+// wrapper around an opaque diagnostic record.
+type envelope struct {
+	TS   string          `json:"ts"`
+	Kind string          `json:"kind"`
+	Rec  json.RawMessage `json:"rec"`
+}
+
+// counters is a purely deterministic record: safe in any artifact.
+type counters struct {
+	Faults uint64 `json:"faults"`
+	Trials uint64 `json:"trials"`
+}
+
+// AppendTelemetry is the sanctioned shape: the sidecar is diagnostics
+// beside the artifact stream, outside resume identity, and says so.
+//
+//lint:artifact-time-exempt fixture: telemetry sidecar is diagnostics outside resume identity
+func AppendTelemetry(f *os.File, kind string, rec json.RawMessage) error {
+	env := envelope{TS: time.Now().UTC().Format(time.RFC3339Nano), Kind: kind, Rec: rec}
+	b, err := json.Marshal(env)
+	if err != nil {
+		return err
+	}
+	_, err = f.Write(append(b, '\n'))
+	return err
+}
+
+// CleanCounters marshals deterministic counters only; measuring a
+// duration beside the record does not taint it.
+func CleanCounters(start time.Time, c counters) ([]byte, float64, error) {
+	elapsed := time.Since(start).Seconds()
+	b, err := json.Marshal(c)
+	return b, elapsed, err
+}
+
+// LeakedTimestamp lets a wall-clock reading reach a marshaled record
+// without the exemption: the true-positive case the scoping exists to
+// catch — a "diagnostic" that would silently become part of an artifact.
+func LeakedTimestamp(c counters) ([]byte, error) {
+	stamped := struct {
+		counters
+		At string `json:"at"`
+	}{counters: c, At: time.Now().UTC().Format(time.RFC3339)}
+	return json.Marshal(stamped) // want "wall-clock value reaches json.Marshal"
+}

@@ -58,6 +58,10 @@ func (e *Execution) RunDispatched(ctx context.Context, d *dispatch.Coordinator, 
 				e.mu.Lock()
 				e.stats[r.Unit][r.RateIdx].Add(r.Value)
 				e.mu.Unlock()
+				// Dispatched trials were computed on a worker, so latency
+				// and fault placement live in the worker's own telemetry;
+				// the coordinator records the result's arrival.
+				e.observeDispatched(r)
 			}
 			return nil
 		},

@@ -5,12 +5,15 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"robustify/internal/dispatch"
 	"robustify/internal/figures"
 	"robustify/internal/harness"
+	"robustify/internal/obs"
 )
 
 // Campaign is a compiled spec: the deterministic trial grid of a figure
@@ -109,8 +112,104 @@ type Execution struct {
 	// the /metrics throughput numbers.
 	trials *atomic.Int64
 
+	// hub, if non-nil, receives diagnostics: per-trial telemetry records
+	// (written beside the store, never into it), trial latency
+	// observations, and trial-finish trace events. id labels them with
+	// the owning campaign. Both stay nil for bare executions (robustbench
+	// local runs, tests), which then behave exactly as before.
+	hub *obs.Hub
+	id  string
+
+	// lat stashes each in-flight trial's wall-clock latency between the
+	// instrumented trial function returning and the sink consuming the
+	// result (the harness runs both on the same goroutine, so the stash
+	// for a given seed is written before it is read).
+	latMu sync.Mutex
+	lat   map[uint64]time.Duration
+
 	mu    sync.Mutex
 	stats [][]*OnlineStats // [unit][rateIdx]
+}
+
+// SetHub attaches an observability hub; trial telemetry and latency
+// histograms are labeled with the campaign id.
+func (e *Execution) SetHub(h *obs.Hub, id string) {
+	e.hub = h
+	e.id = id
+}
+
+// MetricLabel names the spec's workload for latency histograms: the
+// figure id or the custom workload name.
+func (s Spec) MetricLabel() string {
+	if s.Custom != nil {
+		return s.Custom.Workload
+	}
+	return "fig:" + s.Figure
+}
+
+// stashLatency records a just-computed trial's latency until its sink
+// runs; takeLatency removes and returns it.
+func (e *Execution) stashLatency(seed uint64, d time.Duration) {
+	e.latMu.Lock()
+	if e.lat == nil {
+		e.lat = make(map[uint64]time.Duration)
+	}
+	e.lat[seed] = d
+	e.latMu.Unlock()
+}
+
+func (e *Execution) takeLatency(seed uint64) time.Duration {
+	e.latMu.Lock()
+	d := e.lat[seed]
+	delete(e.lat, seed)
+	e.latMu.Unlock()
+	return d
+}
+
+// observeDispatched is observeTrial for results arriving from a worker
+// fleet: no local latency or fault recorder exists for them.
+func (e *Execution) observeDispatched(r dispatch.TrialResult) {
+	if e.hub == nil {
+		return
+	}
+	e.hub.AppendTrial(e.st.Dir(), obs.TrialRecord{
+		Campaign: e.id,
+		Unit:     e.camp.Spec.MetricLabel(),
+		Series:   e.camp.Plan.Units[r.Unit].Series,
+		RateIdx:  r.RateIdx, TrialIdx: r.TrialIdx,
+		Rate: r.Rate, Seed: r.Seed,
+		Value: obs.Float(r.Value),
+	})
+}
+
+// observeTrial emits a trial's diagnostics — telemetry record, latency
+// histogram sample, and trace event — after the trial was durably added
+// to the store. It never touches the store itself.
+func (e *Execution) observeTrial(unit int, t harness.Trial, d time.Duration) {
+	if e.hub == nil {
+		return
+	}
+	label := e.camp.Spec.MetricLabel()
+	if d > 0 {
+		e.hub.ObserveTrial(label, d)
+	}
+	rec := obs.TrialRecord{
+		Campaign: e.id,
+		Unit:     label,
+		Series:   e.camp.Plan.Units[unit].Series,
+		RateIdx:  t.RateIdx, TrialIdx: t.TrialIdx,
+		Rate: t.Rate, Seed: t.Seed,
+		Value:          obs.Float(t.Value),
+		DurationMicros: d.Microseconds(),
+	}
+	if fr := e.hub.TakeFaults(t.Rate, t.Seed); fr != nil {
+		s := fr.Summary()
+		rec.Faults = &s
+	}
+	e.hub.AppendTrial(e.st.Dir(), rec)
+	e.hub.Emit("trial.finish", e.id,
+		e.camp.Plan.Units[unit].Series+" rate="+strconv.FormatFloat(t.Rate, 'g', -1, 64)+
+			" trial="+strconv.Itoa(t.TrialIdx)+" dur="+d.String())
 }
 
 // noteTrial bumps the fresh-trial counter, if one is attached.
@@ -149,6 +248,21 @@ func (e *Execution) Run(ctx context.Context) error {
 		unit, stats := i, e.stats[i]
 		var sinkErr error
 		var sinkMu sync.Mutex
+		fn := u.Fn
+		if e.hub != nil {
+			// Wrap the trial function to time each fresh trial. The stash
+			// is keyed by seed and consumed by the sink, which the harness
+			// runs on the computing goroutine right after fn returns. The
+			// wrapper changes no arithmetic: fn's value passes through
+			// untouched, so results stay bit-identical with the hub on.
+			inner := u.Fn
+			fn = func(rate float64, seed uint64) float64 {
+				start := time.Now()
+				v := inner(rate, seed)
+				e.stashLatency(seed, time.Since(start))
+				return v
+			}
+		}
 		hooks := harness.Hooks{
 			Lookup: func(rateIdx, trial int) (float64, bool) {
 				return e.st.Lookup(unit, rateIdx, trial)
@@ -177,6 +291,7 @@ func (e *Execution) Run(ctx context.Context) error {
 				e.mu.Lock()
 				stats[t.RateIdx].Add(t.Value)
 				e.mu.Unlock()
+				e.observeTrial(unit, t, e.takeLatency(t.Seed))
 			},
 		}
 		sweep := u.Sweep
@@ -187,7 +302,7 @@ func (e *Execution) Run(ctx context.Context) error {
 		if err != nil {
 			return err
 		}
-		if _, err := sweep.RunHooked(ctx, u.Fn, agg, hooks); err != nil {
+		if _, err := sweep.RunHooked(ctx, fn, agg, hooks); err != nil {
 			return err
 		}
 		if sinkErr != nil {

@@ -3,6 +3,7 @@ package campaign
 import (
 	"context"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"path/filepath"
@@ -13,6 +14,7 @@ import (
 
 	"robustify/internal/dispatch"
 	"robustify/internal/harness"
+	"robustify/internal/obs"
 )
 
 // Campaign lifecycle states. StateInterrupted is only ever assigned at
@@ -51,6 +53,9 @@ type handle struct {
 	// counter is the manager-wide fresh-trial counter, attached to every
 	// execution this handle creates (see newExecLocked).
 	counter *atomic.Int64
+	// hub, when the manager has one, receives this campaign's lifecycle
+	// events and per-trial telemetry. Nil hubs are valid no-ops.
+	hub *obs.Hub
 
 	mu sync.Mutex
 	// st and exec are nil for a terminal campaign recovered lazily: its
@@ -78,6 +83,7 @@ type handle struct {
 func (h *handle) newExecLocked() *Execution {
 	e := NewExecution(h.camp, h.st)
 	e.trials = h.counter
+	e.SetHub(h.hub, h.id)
 	return e
 }
 
@@ -146,6 +152,64 @@ type Manager struct {
 	// disp, when set, routes campaign execution to a robustworker fleet
 	// instead of running trials in-process.
 	disp *dispatch.Coordinator
+	// hub, when set, receives lifecycle events and per-trial telemetry
+	// for every campaign.
+	hub *obs.Hub
+	// metricsExtras are additional Prometheus exposition writers appended
+	// to /metrics output (the tune manager and the obs hub register
+	// theirs), keeping NewServer's signature stable as subsystems grow.
+	metricsExtras []func(io.Writer)
+}
+
+// SetHub attaches an observability hub to the manager and to every
+// already-registered campaign (recovered handles included, so their
+// telemetry lands in the right directory). robustd wires this at boot,
+// before the listener; with no hub the manager emits nothing.
+func (m *Manager) SetHub(h *obs.Hub) {
+	m.mu.Lock()
+	m.hub = h
+	handles := make([]*handle, 0, len(m.byID))
+	for _, hd := range m.byID {
+		//lint:detmap-exempt hub attachment order is not observable in any durable artifact
+		handles = append(handles, hd)
+	}
+	m.mu.Unlock()
+	for _, hd := range handles {
+		hd.mu.Lock()
+		hd.hub = h
+		if hd.exec != nil {
+			hd.exec.SetHub(h, hd.id)
+		}
+		hd.mu.Unlock()
+		h.RegisterCampaign(hd.id, hd.dir)
+	}
+}
+
+// Hub returns the attached observability hub (nil when none).
+func (m *Manager) Hub() *obs.Hub {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.hub
+}
+
+// AddMetrics registers an extra Prometheus exposition writer appended to
+// GET /metrics output after the campaign and dispatch families. Writers
+// must emit complete, well-formed families of their own.
+func (m *Manager) AddMetrics(f func(io.Writer)) {
+	if f == nil {
+		return
+	}
+	m.mu.Lock()
+	m.metricsExtras = append(m.metricsExtras, f)
+	m.mu.Unlock()
+}
+
+// emit forwards a lifecycle event to the hub, if one is attached.
+func (m *Manager) emit(kind, campaign, detail string) {
+	m.mu.Lock()
+	h := m.hub
+	m.mu.Unlock()
+	h.Emit(kind, campaign, detail)
 }
 
 // SetDispatcher attaches a dispatch coordinator: every campaign run
@@ -260,6 +324,7 @@ func (m *Manager) Submit(spec Spec) (string, error) {
 		m.mu.Unlock()
 		return "", fmt.Errorf("campaign: manager closed")
 	}
+	hub := m.hub
 	// nextID already continues past the highest recovered id; the probe
 	// additionally skips stray directories not created by a manager, whose
 	// contents would otherwise be served as cached trials for this grid.
@@ -298,6 +363,7 @@ func (m *Manager) Submit(spec Spec) (string, error) {
 	h := &handle{
 		id: id, spec: spec, camp: camp, st: st, dir: dir,
 		counter: &m.trials,
+		hub:     hub,
 		cancel:  cancel,
 		done:    make(chan struct{}),
 		created: time.Now(),
@@ -324,6 +390,8 @@ func (m *Manager) Submit(spec Spec) (string, error) {
 	m.order = append(m.order, id)
 	go m.run(ctx, h, h.done)
 	m.mu.Unlock()
+	hub.RegisterCampaign(id, dir)
+	hub.Emit("campaign.submitted", id, spec.Title())
 	return id, nil
 }
 
@@ -378,6 +446,7 @@ func (m *Manager) Resume(id string) error {
 	h.mu.Unlock()
 
 	go m.run(ctx, h, done)
+	m.hub.Emit("campaign.resumed", id, "")
 	return nil
 }
 
@@ -415,6 +484,7 @@ func (m *Manager) run(ctx context.Context, h *handle, done chan struct{}) {
 	exec := h.exec
 	h.persistLocked()
 	h.mu.Unlock()
+	h.hub.Emit("campaign.running", h.id, "")
 
 	m.mu.Lock()
 	disp := m.disp
@@ -466,6 +536,11 @@ func (h *handle) finish(state string, err error) {
 	h.finished = &now
 	h.persistLocked()
 	h.mu.Unlock()
+	detail := ""
+	if err != nil {
+		detail = err.Error()
+	}
+	h.hub.Emit("campaign."+state, h.id, detail)
 }
 
 // saveMetaLocked writes the handle's lifecycle state to its meta.json;
@@ -593,6 +668,7 @@ func (m *Manager) Cancel(id string) error {
 	cancel := h.cancel
 	h.mu.Unlock()
 	cancel()
+	m.emit("campaign.cancel", id, "")
 	return nil
 }
 

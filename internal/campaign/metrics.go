@@ -2,9 +2,8 @@ package campaign
 
 import (
 	"fmt"
+	"io"
 	"net/http"
-	"sync"
-	"time"
 )
 
 // ManagerMetrics is the manager's observability snapshot.
@@ -15,6 +14,10 @@ type ManagerMetrics struct {
 	// TrialsTotal is the number of freshly executed trials recorded since
 	// this manager was created (cached/resumed trials don't count).
 	TrialsTotal int64
+	// StoreBytes is the summed on-disk size of every open campaign store
+	// (lazily recovered stores that were never opened don't count — the
+	// gauge tracks live write load, not archive size).
+	StoreBytes int64
 }
 
 // Metrics snapshots campaign counts and the trial counter. It never
@@ -28,32 +31,59 @@ func (m *Manager) Metrics() ManagerMetrics {
 	for _, s := range m.List() {
 		states[s.State]++
 	}
-	return ManagerMetrics{States: states, TrialsTotal: m.trials.Load()}
+	return ManagerMetrics{
+		States:      states,
+		TrialsTotal: m.trials.Load(),
+		StoreBytes:  m.storeBytes(),
+	}
+}
+
+// storeBytes sums the on-disk size of every open campaign store, in
+// submission order.
+func (m *Manager) storeBytes() int64 {
+	m.mu.Lock()
+	ids := append([]string(nil), m.order...)
+	m.mu.Unlock()
+	var total int64
+	for _, id := range ids {
+		h, err := m.handleByID(id)
+		if err != nil {
+			continue
+		}
+		h.mu.Lock()
+		if h.st != nil {
+			total += h.st.Size()
+		}
+		h.mu.Unlock()
+	}
+	return total
+}
+
+// writeMetricsExtras appends every registered extra exposition writer.
+func (m *Manager) writeMetricsExtras(w io.Writer) {
+	m.mu.Lock()
+	extras := append([]func(io.Writer){}, m.metricsExtras...)
+	m.mu.Unlock()
+	for _, f := range extras {
+		f(w)
+	}
 }
 
 // metricsHandler serves GET /metrics in Prometheus text exposition
-// format: campaigns by state, trial throughput, and — when a dispatcher
-// is attached — worker fleet and lease-table gauges. The trials-per-
-// second gauge averages over the interval since the previous scrape, so
-// any scraper (or a bare curl loop) sees a meaningful rate without
-// needing rate() math.
+// format: campaigns by state, monotonic trial counters, store size, and —
+// when a dispatcher is attached — worker fleet and lease-table gauges,
+// followed by any registered extra families (trial latency histograms,
+// tune-search progress).
+//
+// The handler is deliberately stateless: every exported number is either
+// a monotonic counter or an instantaneous gauge, so any number of
+// concurrent scrapers see consistent values. Rates are the scraper's job
+// (PromQL rate()); an earlier trials-per-second gauge computed against
+// the previous scrape's state corrupted under concurrent scrapers and is
+// gone.
 func metricsHandler(m *Manager) http.HandlerFunc {
-	var mu sync.Mutex
-	var lastScrape time.Time
-	var lastTrials int64
 	return func(w http.ResponseWriter, r *http.Request) {
 		mm := m.Metrics()
-		now := time.Now()
-		mu.Lock()
-		rate := 0.0
-		if !lastScrape.IsZero() {
-			if dt := now.Sub(lastScrape).Seconds(); dt > 0 {
-				rate = float64(mm.TrialsTotal-lastTrials) / dt
-			}
-		}
-		lastScrape, lastTrials = now, mm.TrialsTotal
-		mu.Unlock()
-
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		fmt.Fprintf(w, "# HELP robustd_campaigns Campaigns in the registry by lifecycle state.\n")
 		fmt.Fprintf(w, "# TYPE robustd_campaigns gauge\n")
@@ -65,37 +95,41 @@ func metricsHandler(m *Manager) http.HandlerFunc {
 		fmt.Fprintf(w, "# HELP robustd_trials_completed_total Freshly executed trials recorded since daemon start.\n")
 		fmt.Fprintf(w, "# TYPE robustd_trials_completed_total counter\n")
 		fmt.Fprintf(w, "robustd_trials_completed_total %d\n", mm.TrialsTotal)
-		fmt.Fprintf(w, "# HELP robustd_trials_per_second Trial completion rate averaged since the previous scrape.\n")
-		fmt.Fprintf(w, "# TYPE robustd_trials_per_second gauge\n")
-		fmt.Fprintf(w, "robustd_trials_per_second %g\n", rate)
+		fmt.Fprintf(w, "# HELP robustd_store_bytes On-disk bytes across open campaign stores.\n")
+		fmt.Fprintf(w, "# TYPE robustd_store_bytes gauge\n")
+		fmt.Fprintf(w, "robustd_store_bytes %d\n", mm.StoreBytes)
 
 		d := m.Dispatcher()
 		fmt.Fprintf(w, "# HELP robustd_dispatch_enabled Whether distributed trial execution is enabled.\n")
 		fmt.Fprintf(w, "# TYPE robustd_dispatch_enabled gauge\n")
 		if d == nil {
 			fmt.Fprintf(w, "robustd_dispatch_enabled 0\n")
-			return
+		} else {
+			fmt.Fprintf(w, "robustd_dispatch_enabled 1\n")
+			ds := d.Stats()
+			fmt.Fprintf(w, "# HELP robustd_workers Robustworkers by liveness (active = leased or reported within two lease TTLs).\n")
+			fmt.Fprintf(w, "# TYPE robustd_workers gauge\n")
+			fmt.Fprintf(w, "robustd_workers{kind=\"registered\"} %d\n", ds.WorkersRegistered)
+			fmt.Fprintf(w, "robustd_workers{kind=\"active\"} %d\n", ds.WorkersActive)
+			fmt.Fprintf(w, "robustd_workers{kind=\"expected\"} %d\n", ds.WorkersExpected)
+			fmt.Fprintf(w, "# HELP robustd_leases_outstanding Shard leases currently held by workers.\n")
+			fmt.Fprintf(w, "# TYPE robustd_leases_outstanding gauge\n")
+			fmt.Fprintf(w, "robustd_leases_outstanding %d\n", ds.ShardsLeased)
+			fmt.Fprintf(w, "# HELP robustd_oldest_lease_age_seconds Age of the oldest outstanding shard lease (0 when none).\n")
+			fmt.Fprintf(w, "# TYPE robustd_oldest_lease_age_seconds gauge\n")
+			fmt.Fprintf(w, "robustd_oldest_lease_age_seconds %g\n", ds.OldestLeaseAgeSeconds)
+			fmt.Fprintf(w, "# HELP robustd_shards Shards of actively dispatched campaigns by state.\n")
+			fmt.Fprintf(w, "# TYPE robustd_shards gauge\n")
+			fmt.Fprintf(w, "robustd_shards{state=\"pending\"} %d\n", ds.ShardsPending)
+			fmt.Fprintf(w, "robustd_shards{state=\"leased\"} %d\n", ds.ShardsLeased)
+			fmt.Fprintf(w, "robustd_shards{state=\"done\"} %d\n", ds.ShardsDone)
+			fmt.Fprintf(w, "# HELP robustd_dispatch_jobs Campaigns currently dispatched to the fleet.\n")
+			fmt.Fprintf(w, "# TYPE robustd_dispatch_jobs gauge\n")
+			fmt.Fprintf(w, "robustd_dispatch_jobs %d\n", ds.Jobs)
+			fmt.Fprintf(w, "# HELP robustd_dispatch_rejected_results_total Worker results dropped by grid bounds or seed/rate verification.\n")
+			fmt.Fprintf(w, "# TYPE robustd_dispatch_rejected_results_total counter\n")
+			fmt.Fprintf(w, "robustd_dispatch_rejected_results_total %d\n", ds.RejectedResults)
 		}
-		fmt.Fprintf(w, "robustd_dispatch_enabled 1\n")
-		ds := d.Stats()
-		fmt.Fprintf(w, "# HELP robustd_workers Robustworkers by liveness (active = leased or reported within two lease TTLs).\n")
-		fmt.Fprintf(w, "# TYPE robustd_workers gauge\n")
-		fmt.Fprintf(w, "robustd_workers{kind=\"registered\"} %d\n", ds.WorkersRegistered)
-		fmt.Fprintf(w, "robustd_workers{kind=\"active\"} %d\n", ds.WorkersActive)
-		fmt.Fprintf(w, "robustd_workers{kind=\"expected\"} %d\n", ds.WorkersExpected)
-		fmt.Fprintf(w, "# HELP robustd_leases_outstanding Shard leases currently held by workers.\n")
-		fmt.Fprintf(w, "# TYPE robustd_leases_outstanding gauge\n")
-		fmt.Fprintf(w, "robustd_leases_outstanding %d\n", ds.ShardsLeased)
-		fmt.Fprintf(w, "# HELP robustd_shards Shards of actively dispatched campaigns by state.\n")
-		fmt.Fprintf(w, "# TYPE robustd_shards gauge\n")
-		fmt.Fprintf(w, "robustd_shards{state=\"pending\"} %d\n", ds.ShardsPending)
-		fmt.Fprintf(w, "robustd_shards{state=\"leased\"} %d\n", ds.ShardsLeased)
-		fmt.Fprintf(w, "robustd_shards{state=\"done\"} %d\n", ds.ShardsDone)
-		fmt.Fprintf(w, "# HELP robustd_dispatch_jobs Campaigns currently dispatched to the fleet.\n")
-		fmt.Fprintf(w, "# TYPE robustd_dispatch_jobs gauge\n")
-		fmt.Fprintf(w, "robustd_dispatch_jobs %d\n", ds.Jobs)
-		fmt.Fprintf(w, "# HELP robustd_dispatch_rejected_results_total Worker results dropped by grid bounds or seed/rate verification.\n")
-		fmt.Fprintf(w, "# TYPE robustd_dispatch_rejected_results_total counter\n")
-		fmt.Fprintf(w, "robustd_dispatch_rejected_results_total %d\n", ds.RejectedResults)
+		m.writeMetricsExtras(w)
 	}
 }

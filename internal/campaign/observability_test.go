@@ -207,12 +207,18 @@ func TestMetricsEndpoint(t *testing.T) {
 		`robustd_campaigns{state="done"} 1`,
 		`robustd_campaigns{state="running"} 0`,
 		"robustd_trials_completed_total 3",
-		"robustd_trials_per_second",
+		"robustd_store_bytes",
 		"robustd_dispatch_enabled 0",
 	} {
 		if !strings.Contains(body, line) {
 			t.Errorf("/metrics missing %q:\n%s", line, body)
 		}
+	}
+	// The old trials-per-second gauge kept mutable scrape state and
+	// corrupted under concurrent scrapers; it must stay gone (scrapers
+	// compute rates from the monotonic counter instead).
+	if strings.Contains(body, "robustd_trials_per_second") {
+		t.Errorf("/metrics still exports the stateful trials-per-second gauge:\n%s", body)
 	}
 }
 

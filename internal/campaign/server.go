@@ -17,6 +17,8 @@ import (
 //	POST   /campaigns               submit a Spec (JSON body) -> {"id": ...}
 //	GET    /campaigns               list campaigns with progress
 //	GET    /campaigns/{id}          status with live per-cell statistics
+//	GET    /campaigns/{id}/status/stream
+//	                                live status as Server-Sent Events (see sseHandler)
 //	GET    /campaigns/{id}/results  materialized table; ?format=text|csv|json
 //	POST   /campaigns/{id}/cancel   stop; completed trials stay durable
 //	POST   /campaigns/{id}/resume   reschedule a cancelled/failed/interrupted campaign
@@ -24,7 +26,8 @@ import (
 //	                                selectable fault models with their fm_* knobs
 //	GET    /healthz                 liveness
 //	GET    /metrics                 Prometheus text: campaigns by state, trial
-//	                                throughput, workers, outstanding leases
+//	                                counters, store size, workers, leases
+//	GET    /debug/events            recent lifecycle trace events (ring buffer)
 //
 // With a dispatch coordinator attached (robustd -workers-expected > 0)
 // the worker lease protocol is served too:
@@ -67,6 +70,8 @@ func NewServer(m *Manager) http.Handler {
 		}
 		WriteJSON(w, http.StatusOK, status)
 	})
+
+	mux.HandleFunc("GET /campaigns/{id}/status/stream", sseHandler(m))
 
 	mux.HandleFunc("GET /campaigns/{id}/results", func(w http.ResponseWriter, r *http.Request) {
 		table, err := m.Table(r.PathValue("id"))
@@ -144,6 +149,9 @@ func NewServer(m *Manager) http.Handler {
 	})
 
 	mux.HandleFunc("GET /metrics", metricsHandler(m))
+
+	// The hub is nil-safe: without one the handler serves an empty list.
+	mux.HandleFunc("GET /debug/events", m.Hub().EventsHandler())
 
 	// dispatcher guards the worker endpoints: without a coordinator the
 	// daemon runs every trial in-process and a worker knocking on the

@@ -1,0 +1,183 @@
+package campaign
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sseFrame is one parsed server-sent event.
+type sseFrame struct {
+	event string
+	data  string
+}
+
+// readSSE parses frames off the stream until an `event: done` frame, the
+// stream closes, or the deadline passes. Comment lines (heartbeats) are
+// returned as frames with event "comment".
+func readSSE(t *testing.T, body *bufio.Scanner, deadline time.Duration) []sseFrame {
+	t.Helper()
+	var frames []sseFrame
+	var cur sseFrame
+	timer := time.AfterFunc(deadline, func() {
+		t.Errorf("SSE stream did not finish within %s", deadline)
+	})
+	defer timer.Stop()
+	for body.Scan() {
+		line := body.Text()
+		switch {
+		case line == "":
+			if cur.event != "" {
+				frames = append(frames, cur)
+				if cur.event == "done" {
+					return frames
+				}
+				cur = sseFrame{}
+			}
+		case strings.HasPrefix(line, ": "):
+			frames = append(frames, sseFrame{event: "comment", data: strings.TrimPrefix(line, ": ")})
+		case strings.HasPrefix(line, "event: "):
+			cur.event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.data = strings.TrimPrefix(line, "data: ")
+		}
+	}
+	return frames
+}
+
+// tightenSSE shortens the stream cadence for the duration of one test.
+// Tests using it must not run in parallel.
+func tightenSSE(t *testing.T, interval, heartbeat time.Duration) {
+	t.Helper()
+	oldI, oldH := sseInterval, sseHeartbeat
+	sseInterval, sseHeartbeat = interval, heartbeat
+	t.Cleanup(func() { sseInterval, sseHeartbeat = oldI, oldH })
+}
+
+// TestSSEStreamDeliversProgressAndDone is the streaming acceptance test:
+// a client connected mid-campaign sees at least one progress delta and
+// exactly one terminal done event carrying the final status — and the
+// results table is byte-identical to a campaign nobody streamed.
+func TestSSEStreamDeliversProgressAndDone(t *testing.T) {
+	tightenSSE(t, 2*time.Millisecond, time.Minute)
+	srv, _ := newTestServer(t, 2)
+
+	// Streamed campaign: the robust-sort workload at a large iteration
+	// budget, so trials take long enough for progress to move while the
+	// stream is attached.
+	spec := `{"custom":{"workload":"sort/robust","rates":[0.005,0.01],"iters":30000},"trials":12,"seed":11,"workers":1}`
+	var resp map[string]string
+	doJSON(t, "POST", srv.URL+"/campaigns", spec, http.StatusAccepted, &resp)
+	id := resp["id"]
+
+	r, err := http.Get(srv.URL + "/campaigns/" + id + "/status/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if ct := r.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q, want text/event-stream", ct)
+	}
+	frames := readSSE(t, bufio.NewScanner(r.Body), 60*time.Second)
+
+	var progress, done int
+	var final Status
+	for _, f := range frames {
+		switch f.event {
+		case "progress":
+			progress++
+		case "done":
+			done++
+			if err := json.Unmarshal([]byte(f.data), &final); err != nil {
+				t.Fatalf("done frame does not parse: %v\n%s", err, f.data)
+			}
+		}
+	}
+	// The immediate connect snapshot plus at least one mid-run delta.
+	if progress < 2 {
+		t.Errorf("saw %d progress events, want >= 2 (connect snapshot + delta)", progress)
+	}
+	if done != 1 {
+		t.Fatalf("saw %d done events, want exactly 1", done)
+	}
+	if final.State != StateDone || final.Progress.Done != final.Progress.Total || final.Progress.Total != 24 {
+		t.Errorf("final status = %s %+v, want done 24/24", final.State, final.Progress)
+	}
+
+	// Control campaign: identical spec, never streamed. Results must not
+	// depend on whether anyone watched.
+	doJSON(t, "POST", srv.URL+"/campaigns", spec, http.StatusAccepted, &resp)
+	waitState(t, srv.URL, resp["id"], StateDone)
+	_, streamed := fetch(t, srv.URL+"/campaigns/"+id+"/results?format=csv")
+	_, control := fetch(t, srv.URL+"/campaigns/"+resp["id"]+"/results?format=csv")
+	if streamed != control {
+		t.Errorf("streamed campaign's results differ from unstreamed control:\n--- streamed ---\n%s--- control ---\n%s", streamed, control)
+	}
+}
+
+// TestSSEHeartbeatWhileQueued: a stream over a campaign that is making no
+// progress (queued behind another) emits heartbeat comments instead of
+// going silent, and a terminal campaign gets an immediate snapshot+done.
+func TestSSEHeartbeatWhileQueued(t *testing.T) {
+	tightenSSE(t, 2*time.Millisecond, 6*time.Millisecond)
+	srv, _ := newTestServer(t, 1)
+
+	var first, queued map[string]string
+	doJSON(t, "POST", srv.URL+"/campaigns",
+		`{"custom":{"workload":"sort/robust","rates":[0.01],"iters":30000},"trials":20,"seed":3,"workers":1}`,
+		http.StatusAccepted, &first)
+	doJSON(t, "POST", srv.URL+"/campaigns",
+		`{"custom":{"workload":"sort/base","rates":[0.01]},"trials":1,"seed":4}`,
+		http.StatusAccepted, &queued)
+
+	r, err := http.Get(srv.URL + "/campaigns/" + queued["id"] + "/status/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	frames := readSSE(t, bufio.NewScanner(r.Body), 60*time.Second)
+	var beats, done int
+	for _, f := range frames {
+		switch f.event {
+		case "comment":
+			if f.data == "heartbeat" {
+				beats++
+			}
+		case "done":
+			done++
+		}
+	}
+	if beats == 0 {
+		t.Error("no heartbeats while queued behind a long campaign")
+	}
+	if done != 1 {
+		t.Errorf("saw %d done events, want 1", done)
+	}
+
+	// Reconnecting after the end replays snapshot + done immediately.
+	waitState(t, srv.URL, first["id"], StateDone)
+	r2, err := http.Get(srv.URL + "/campaigns/" + first["id"] + "/status/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Body.Close()
+	replay := readSSE(t, bufio.NewScanner(r2.Body), 10*time.Second)
+	if len(replay) != 2 || replay[0].event != "progress" || replay[1].event != "done" {
+		t.Errorf("terminal reconnect frames = %+v, want [progress done]", replay)
+	}
+}
+
+func TestSSEUnknownCampaign(t *testing.T) {
+	srv, _ := newTestServer(t, 1)
+	r, err := http.Get(srv.URL + "/campaigns/c9999/status/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusNotFound {
+		t.Errorf("stream for unknown campaign = %d, want 404", r.StatusCode)
+	}
+}

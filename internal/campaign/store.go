@@ -187,6 +187,21 @@ func (st *Store) Lookup(unit, rateIdx, trialIdx int) (float64, bool) {
 	return v, ok
 }
 
+// Size is the store file's current on-disk size in bytes (0 when the
+// store is closed or the file cannot be statted).
+func (st *Store) Size() int64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.f == nil {
+		return 0
+	}
+	fi, err := st.f.Stat()
+	if err != nil {
+		return 0
+	}
+	return fi.Size()
+}
+
 // Count is the number of distinct completed trials in the store.
 func (st *Store) Count() int {
 	st.mu.Lock()

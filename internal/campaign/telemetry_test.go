@@ -1,0 +1,146 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"robustify/internal/fpu/faultmodel"
+	"robustify/internal/obs"
+)
+
+// runCampaignStore runs one quick campaign, optionally with the full
+// observability hub attached (lifecycle events, per-trial telemetry, and
+// the fault-placement observer factory), and returns the raw bytes of its
+// trial store plus the campaign directory.
+func runCampaignStore(t *testing.T, withHub bool) ([]byte, string) {
+	t.Helper()
+	root := t.TempDir()
+	m := newManager(t, root, 1)
+	defer m.Close()
+	if withHub {
+		hub := obs.NewHub()
+		t.Cleanup(func() { hub.Close() })
+		m.SetHub(hub)
+		prev := faultmodel.SetUnitObserver(hub.Observer)
+		t.Cleanup(func() { faultmodel.SetUnitObserver(prev) })
+	}
+	id, err := m.Submit(quickSpec(0.5, 7, 25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Wait(id); err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(root, id)
+	b, err := os.ReadFile(filepath.Join(dir, storeFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, dir
+}
+
+// TestTelemetryDoesNotPerturbStore is the determinism acceptance test for
+// the observability layer: running the identical campaign with the flight
+// recorder fully attached (hub, telemetry sidecar, fault observer) and
+// with it absent must produce bit-identical trial stores. Telemetry is
+// diagnostics beside the artifact stream, never part of it.
+func TestTelemetryDoesNotPerturbStore(t *testing.T) {
+	plain, _ := runCampaignStore(t, false)
+	observed, dir := runCampaignStore(t, true)
+	if !bytes.Equal(plain, observed) {
+		t.Errorf("trial store differs with telemetry attached:\n--- plain ---\n%s--- observed ---\n%s", plain, observed)
+	}
+
+	// The sidecar exists, holds one record per trial, and at rate 0.5 the
+	// fault-placement summaries are populated.
+	b, err := os.ReadFile(filepath.Join(dir, obs.TelemetryFile))
+	if err != nil {
+		t.Fatalf("telemetry sidecar missing: %v", err)
+	}
+	var trials, withFaults int
+	for _, line := range strings.Split(strings.TrimSpace(string(b)), "\n") {
+		var env struct {
+			Kind string `json:"kind"`
+			Rec  struct {
+				Faults *obs.FaultSummary `json:"faults"`
+			} `json:"rec"`
+		}
+		if err := json.Unmarshal([]byte(line), &env); err != nil {
+			t.Fatalf("telemetry line does not parse: %v\n%s", err, line)
+		}
+		if env.Kind != "trial" {
+			continue
+		}
+		trials++
+		if env.Rec.Faults != nil && env.Rec.Faults.Total > 0 {
+			withFaults++
+		}
+	}
+	if trials != 25 {
+		t.Errorf("telemetry has %d trial records, want 25", trials)
+	}
+	if withFaults == 0 {
+		t.Error("no trial carried a fault-placement summary at rate 0.5")
+	}
+}
+
+// TestMetricsConcurrentScrapes hammers /metrics from several goroutines
+// while a campaign is running. The handler must be stateless per scrape:
+// under -race this pins the satellite fix that removed the shared
+// mutable trials-per-second scrape state.
+func TestMetricsConcurrentScrapes(t *testing.T) {
+	srv, m := newTestServer(t, 2)
+	hub := obs.NewHub()
+	t.Cleanup(func() { hub.Close() })
+	m.SetHub(hub)
+	m.AddMetrics(hub.WriteMetrics)
+
+	var resp map[string]string
+	doJSON(t, "POST", srv.URL+"/campaigns",
+		`{"custom":{"workload":"sort/robust","rates":[0.01],"iters":20000},"trials":30,"seed":5,"workers":1}`,
+		http.StatusAccepted, &resp)
+
+	var bad atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				r, err := http.Get(srv.URL + "/metrics")
+				if err != nil {
+					bad.Add(1)
+					return
+				}
+				body := make([]byte, 1<<16)
+				n, _ := r.Body.Read(body)
+				r.Body.Close()
+				if r.StatusCode != http.StatusOK || !bytes.Contains(body[:n], []byte("robustd_trials_completed_total")) {
+					bad.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if n := bad.Load(); n != 0 {
+		t.Errorf("%d concurrent scrapes failed or returned malformed output", n)
+	}
+	waitState(t, srv.URL, resp["id"], StateDone)
+
+	// The scrape after completion reports the full trial count — the
+	// monotonic counter scrapers derive rates from.
+	_, body := fetch(t, srv.URL+"/metrics")
+	if !strings.Contains(body, "robustd_trials_completed_total 30") {
+		t.Errorf("final scrape missing completed count:\n%s", body)
+	}
+	if !strings.Contains(body, "robustd_trial_duration_seconds_count") {
+		t.Errorf("hub latency histogram missing from /metrics:\n%s", body)
+	}
+}

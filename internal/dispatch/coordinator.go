@@ -143,6 +143,9 @@ func (c *Coordinator) RunJob(ctx context.Context, job Job) error {
 		table:  NewTable(job.Units, job.Have, c.opt.shardSize()),
 		failed: make(chan struct{}),
 	}
+	if c.opt.Events != nil {
+		j.table.SetEvents(c.opt.Events, job.Campaign)
+	}
 	c.mu.Lock()
 	for _, other := range c.jobs {
 		if other.job.Campaign == job.Campaign {
@@ -306,6 +309,9 @@ type Stats struct {
 	ShardsLeased      int
 	ShardsDone        int
 	RejectedResults   int64
+	// OldestLeaseAgeSeconds is the age of the longest-outstanding lease
+	// across all dispatched campaigns (0 when none are outstanding).
+	OldestLeaseAgeSeconds float64
 }
 
 // Stats snapshots the fleet and lease state.
@@ -330,6 +336,9 @@ func (c *Coordinator) Stats() Stats {
 		s.ShardsPending += p
 		s.ShardsLeased += l
 		s.ShardsDone += d
+		if age := j.table.OldestLeaseAge(now).Seconds(); age > s.OldestLeaseAgeSeconds {
+			s.OldestLeaseAgeSeconds = age
+		}
 	}
 	return s
 }

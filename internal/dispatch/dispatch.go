@@ -155,6 +155,15 @@ type ReportResponse struct {
 // continue.
 var ErrUnknownWorker = errors.New("dispatch: unknown worker")
 
+// EventSink receives lease lifecycle trace events (lease.acquired,
+// lease.expired, shard.requeued). The interface is defined here rather
+// than importing the observability layer so dispatch stays standalone;
+// *obs.Hub satisfies it. Sinks must be cheap and concurrency-safe: they
+// are called with lease-table locks held.
+type EventSink interface {
+	Emit(kind, campaign, detail string)
+}
+
 // Options configure a Coordinator.
 type Options struct {
 	// LeaseTTL is how long a worker may go between reports before its
@@ -165,6 +174,8 @@ type Options struct {
 	// WorkersExpected is the operator-declared fleet size; informational
 	// (surfaced in /metrics), never a gate on dispatch.
 	WorkersExpected int
+	// Events, if non-nil, receives lease lifecycle trace events.
+	Events EventSink
 }
 
 func (o Options) leaseTTL() time.Duration {

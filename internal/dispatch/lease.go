@@ -23,6 +23,7 @@ type shardEntry struct {
 	state              shardState
 	lease              string
 	worker             string
+	issued             time.Time // when the current lease was acquired
 	expiry             time.Time
 	remaining          map[int]struct{}
 }
@@ -50,6 +51,25 @@ type Table struct {
 	nextLease int
 	doneCount int
 	done      chan struct{}
+	// events, if set, receives lease lifecycle trace events labeled with
+	// campaign. Purely diagnostic: the table's behavior is identical with
+	// or without a sink.
+	events   EventSink
+	campaign string
+}
+
+// SetEvents attaches a trace-event sink; events are labeled with the
+// given campaign id. Call before the table is shared.
+func (t *Table) SetEvents(sink EventSink, campaign string) {
+	t.events = sink
+	t.campaign = campaign
+}
+
+// emit forwards one trace event to the sink, if any.
+func (t *Table) emit(kind, detail string) {
+	if t.events != nil {
+		t.events.Emit(kind, t.campaign, detail)
+	}
 }
 
 // NewTable carves the grid into shards of shardSize trials, marking
@@ -109,7 +129,9 @@ func (t *Table) Acquire(worker string, now time.Time, ttl time.Duration) *Lease 
 		id := fmt.Sprintf("l%06d", t.nextLease)
 		e.state = shardLeased
 		e.lease, e.worker, e.expiry = id, worker, now.Add(ttl)
+		e.issued = now
 		t.leases[id] = e
+		t.emit("lease.acquired", fmt.Sprintf("%s worker=%s unit=%d start=%d count=%d", id, worker, e.unit, e.start, e.count))
 		return &Lease{ID: id, Shard: Shard{Unit: e.unit, Start: e.start, Count: e.count, Skip: e.skipLocked()}}
 	}
 	return nil
@@ -154,6 +176,7 @@ func (t *Table) Report(leaseID string, keys []Key, done bool, now time.Time, ttl
 		delete(t.leases, leaseID)
 		e.lease, e.worker = "", ""
 		e.state = shardPending
+		t.emit("shard.requeued", fmt.Sprintf("%s unit=%d start=%d missing=%d", leaseID, e.unit, e.start, len(e.remaining)))
 		return false
 	}
 	e.expiry = now.Add(ttl)
@@ -199,9 +222,28 @@ func (t *Table) expireLocked(now time.Time) {
 		if e.expiry.Before(now) {
 			delete(t.leases, id)
 			e.state = shardPending
+			worker := e.worker
 			e.lease, e.worker = "", ""
+			t.emit("lease.expired", fmt.Sprintf("%s worker=%s unit=%d start=%d", id, worker, e.unit, e.start))
 		}
 	}
+}
+
+// OldestLeaseAge reports how long the longest-outstanding lease has been
+// held as of now (0 when no leases are outstanding). Expired leases are
+// reclaimed first, so a wedged worker shows up as requeued shards, not as
+// an ever-growing age.
+func (t *Table) OldestLeaseAge(now time.Time) time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.expireLocked(now)
+	var oldest time.Duration
+	for _, e := range t.leases {
+		if age := now.Sub(e.issued); age > oldest {
+			oldest = age
+		}
+	}
+	return oldest
 }
 
 // Counts reports the table's shard states after reclaiming expired

@@ -36,6 +36,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"robustify/internal/fpu"
 )
@@ -184,13 +185,52 @@ func (s *Spec) New(rate float64, seed uint64) (fpu.FaultModel, error) {
 	panic("faultmodel: unreachable after Validate")
 }
 
+// unitObserver, when set, manufactures an fpu.Observer for every faulty
+// unit built through Spec.Unit — the observability layer's single hook
+// into trial execution. The factory must be cheap and concurrency-safe:
+// Unit is called from every trial worker goroutine.
+var unitObserver atomic.Pointer[func(rate float64, seed uint64) fpu.Observer]
+
+// SetUnitObserver installs (or, with nil, removes) a process-wide observer
+// factory consulted by Spec.Unit. Observers are passive taps on the fault
+// injection path (see fpu.Observer) and never alter arithmetic, so
+// installing one cannot perturb any per-seed pin. It returns the previous
+// factory so tests can restore it.
+func SetUnitObserver(factory func(rate float64, seed uint64) fpu.Observer) func(rate float64, seed uint64) fpu.Observer {
+	var prev *func(rate float64, seed uint64) fpu.Observer
+	if factory == nil {
+		prev = unitObserver.Swap(nil)
+	} else {
+		prev = unitObserver.Swap(&factory)
+	}
+	if prev == nil {
+		return nil
+	}
+	return *prev
+}
+
+// observe attaches the process-wide observer, if any, to a freshly built
+// faulty unit. Reliable units are left untouched: they fire no faults, so
+// an observer would only cost an interface check per kernel call.
+func observe(u *fpu.Unit, rate float64, seed uint64) *fpu.Unit {
+	if u.Reliable() {
+		return u
+	}
+	if f := unitObserver.Load(); f != nil {
+		if o := (*f)(rate, seed); o != nil {
+			u.SetObserver(o)
+		}
+	}
+	return u
+}
+
 // Unit builds a one-trial fpu.Unit running this spec's model, the shared
 // construction path of workloads and figures. A nil spec (or the default
 // family) takes the fpu.WithFaultRate path, pinned bit-identical to the
 // pre-refactor units.
 func (s *Spec) Unit(rate float64, seed uint64) *fpu.Unit {
 	if s == nil || s.ModelName() == Default {
-		return fpu.New(fpu.WithFaultRate(rate, seed))
+		return observe(fpu.New(fpu.WithFaultRate(rate, seed)), rate, seed)
 	}
 	m, err := s.New(rate, seed)
 	if err != nil {
@@ -203,7 +243,7 @@ func (s *Spec) Unit(rate float64, seed uint64) *fpu.Unit {
 		// Unit.Reliable holds, matching WithFaultRate's contract.
 		return fpu.New()
 	}
-	return fpu.New(fpu.WithModel(m))
+	return observe(fpu.New(fpu.WithModel(m)), rate, seed)
 }
 
 // weight resolves an optional class weight (nil = 1).

@@ -28,7 +28,10 @@ package fpu
 // otherwise break bit-compatibility with the scalar path on architectures
 // where the compiler fuses.
 
-import "errors"
+import (
+	"errors"
+	"math"
+)
 
 // ErrKernelLen is the panic value for kernel operand length mismatches,
 // mirroring linalg.ErrShape (which fpu cannot import) as an inspectable
@@ -84,8 +87,13 @@ func (u *Unit) pairRun(rem int) int {
 }
 
 // injectOp mirrors commit's rounding, NaN canonicalization, and injection
-// for one operation whose accounting has already been bulk-charged.
-func (u *Unit) injectOp(v float64) float64 {
+// for one operation whose accounting has already been bulk-charged. op and
+// flop identify the operation for the observer exactly as commit would
+// have: flop is the 1-based ordinal of this operation in the unit's FLOP
+// stream, computed by the caller from the pre-charge counter, so scalar and
+// batched kernels present identical fault placements to an attached
+// Observer.
+func (u *Unit) injectOp(op Op, flop uint64, v float64) float64 {
 	if u.single {
 		v = float64(float32(v))
 	}
@@ -97,7 +105,11 @@ func (u *Unit) injectOp(v float64) float64 {
 	}
 	if u.model.Fire() {
 		u.faults++
+		raw := v
 		v = u.model.Corrupt(v)
+		if u.obs != nil {
+			u.obs.FaultInjected(op, flop, math.Float64bits(raw)^math.Float64bits(v))
+		}
 	}
 	return v
 }
@@ -129,6 +141,7 @@ func (u *Unit) Dot(a, b []float64) float64 {
 		}
 		return s
 	}
+	base := u.flops
 	u.chargePair(OpMul, OpAdd, n)
 	var s float64
 	for i := 0; i < n; {
@@ -143,7 +156,8 @@ func (u *Unit) Dot(a, b []float64) float64 {
 			}
 		}
 		if i < n {
-			s = u.injectOp(s + u.injectOp(float64(a[i]*b[i])))
+			at := base + 2*uint64(i)
+			s = u.injectOp(OpAdd, at+2, s+u.injectOp(OpMul, at+1, float64(a[i]*b[i])))
 			i++
 		}
 	}
@@ -165,6 +179,7 @@ func (u *Unit) DotRev(a, b []float64) float64 {
 		}
 		return s
 	}
+	base := u.flops
 	u.chargePair(OpMul, OpAdd, n)
 	var s float64
 	for i := 0; i < n; {
@@ -179,7 +194,8 @@ func (u *Unit) DotRev(a, b []float64) float64 {
 			}
 		}
 		if i < n {
-			s = u.injectOp(s + u.injectOp(float64(a[i]*b[n-1-i])))
+			at := base + 2*uint64(i)
+			s = u.injectOp(OpAdd, at+2, s+u.injectOp(OpMul, at+1, float64(a[i]*b[n-1-i])))
 			i++
 		}
 	}
@@ -199,6 +215,7 @@ func (u *Unit) Axpy(alpha float64, x, y []float64) {
 		}
 		return
 	}
+	base := u.flops
 	u.chargePair(OpMul, OpAdd, n)
 	for i := 0; i < n; {
 		run := i + u.pairRun(n-i)
@@ -212,7 +229,8 @@ func (u *Unit) Axpy(alpha float64, x, y []float64) {
 			}
 		}
 		if i < n {
-			y[i] = u.injectOp(y[i] + u.injectOp(float64(alpha*x[i])))
+			at := base + 2*uint64(i)
+			y[i] = u.injectOp(OpAdd, at+2, y[i]+u.injectOp(OpMul, at+1, float64(alpha*x[i])))
 			i++
 		}
 	}
@@ -231,6 +249,7 @@ func (u *Unit) Xpay(x []float64, alpha float64, y []float64) {
 		}
 		return
 	}
+	base := u.flops
 	u.chargePair(OpMul, OpAdd, n)
 	for i := 0; i < n; {
 		run := i + u.pairRun(n-i)
@@ -244,7 +263,8 @@ func (u *Unit) Xpay(x []float64, alpha float64, y []float64) {
 			}
 		}
 		if i < n {
-			y[i] = u.injectOp(x[i] + u.injectOp(float64(alpha*y[i])))
+			at := base + 2*uint64(i)
+			y[i] = u.injectOp(OpAdd, at+2, x[i]+u.injectOp(OpMul, at+1, float64(alpha*y[i])))
 			i++
 		}
 	}
@@ -260,6 +280,7 @@ func (u *Unit) Sum(x []float64) float64 {
 		}
 		return s
 	}
+	base := u.flops
 	u.charge(OpAdd, n)
 	var s float64
 	for i := 0; i < n; {
@@ -274,7 +295,7 @@ func (u *Unit) Sum(x []float64) float64 {
 			}
 		}
 		if i < n {
-			s = u.injectOp(s + x[i])
+			s = u.injectOp(OpAdd, base+uint64(i)+1, s+x[i])
 			i++
 		}
 	}
@@ -291,6 +312,7 @@ func (u *Unit) Scale(alpha float64, x []float64) {
 		}
 		return
 	}
+	base := u.flops
 	u.charge(OpMul, n)
 	for i := 0; i < n; {
 		run := i + u.soloRun(n-i)
@@ -304,7 +326,7 @@ func (u *Unit) Scale(alpha float64, x []float64) {
 			}
 		}
 		if i < n {
-			x[i] = u.injectOp(alpha * x[i])
+			x[i] = u.injectOp(OpMul, base+uint64(i)+1, alpha*x[i])
 			i++
 		}
 	}
@@ -323,6 +345,7 @@ func (u *Unit) AddVec(a, b, dst []float64) {
 		}
 		return
 	}
+	base := u.flops
 	u.charge(OpAdd, n)
 	for i := 0; i < n; {
 		run := i + u.soloRun(n-i)
@@ -336,7 +359,7 @@ func (u *Unit) AddVec(a, b, dst []float64) {
 			}
 		}
 		if i < n {
-			dst[i] = u.injectOp(a[i] + b[i])
+			dst[i] = u.injectOp(OpAdd, base+uint64(i)+1, a[i]+b[i])
 			i++
 		}
 	}
@@ -355,6 +378,7 @@ func (u *Unit) SubVec(a, b, dst []float64) {
 		}
 		return
 	}
+	base := u.flops
 	u.charge(OpSub, n)
 	for i := 0; i < n; {
 		run := i + u.soloRun(n-i)
@@ -368,7 +392,7 @@ func (u *Unit) SubVec(a, b, dst []float64) {
 			}
 		}
 		if i < n {
-			dst[i] = u.injectOp(a[i] - b[i])
+			dst[i] = u.injectOp(OpSub, base+uint64(i)+1, a[i]-b[i])
 			i++
 		}
 	}

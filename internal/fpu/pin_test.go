@@ -13,7 +13,20 @@ import (
 // resume artifact, and distributed byte-identity guarantee in the repo
 // assumes this op stream — a drift here silently invalidates all of them.
 func TestDefaultModelOpStreamPinned(t *testing.T) {
-	u := New(WithFaultRate(0.02, 99))
+	checkPinnedOpStream(t, New(WithFaultRate(0.02, 99)), nil)
+}
+
+// TestDefaultModelOpStreamPinnedWithObserver replays the identical pinned
+// stream with an Observer attached: the flight recorder is strictly
+// passive, so every hash and counter above must hold unchanged, and the
+// observer must see exactly the pinned number of injected faults.
+func TestDefaultModelOpStreamPinnedWithObserver(t *testing.T) {
+	rec := &streamObserver{}
+	checkPinnedOpStream(t, New(WithFaultRate(0.02, 99), WithObserver(rec)), rec)
+}
+
+func checkPinnedOpStream(t *testing.T, u *Unit, rec *streamObserver) {
+	t.Helper()
 	n := 257
 	a := make([]float64, n)
 	b := make([]float64, n)
@@ -88,6 +101,19 @@ func TestDefaultModelOpStreamPinned(t *testing.T) {
 	for op, want := range wantPerOp {
 		if got := u.OpCount(op); got != want {
 			t.Errorf("OpCount(%s) = %d, want %d", op, got, want)
+		}
+	}
+	if rec != nil {
+		// Every injected fault reaches the observer: bit corruptions via
+		// FaultInjected, comparison flips via CompareFault.
+		faults := 0
+		for _, ev := range rec.events {
+			if ev.kind == "fault" || ev.kind == "compare" {
+				faults++
+			}
+		}
+		if uint64(faults) != wantInjected {
+			t.Errorf("observer saw %d fault events, want %d", faults, wantInjected)
 		}
 	}
 }

@@ -132,6 +132,12 @@ type Hooks struct {
 	Lookup func(rateIdx, trial int) (float64, bool)
 	// Sink, if non-nil, receives every trial outcome, including cached
 	// ones (flagged Cached) so progress accounting sees the whole grid.
+	//
+	// Contract: Sink runs on the same goroutine that executed (or
+	// looked up) the trial, synchronously after it. Per-trial
+	// instrumentation — the observability layer's seed-keyed latency
+	// stash and fault-recorder collection — relies on this ordering;
+	// it is pinned by TestSinkRunsOnTrialGoroutine.
 	Sink func(Trial)
 }
 

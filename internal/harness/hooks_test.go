@@ -2,7 +2,10 @@ package harness
 
 import (
 	"context"
+	"runtime"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -140,5 +143,46 @@ func TestSweepSize(t *testing.T) {
 	}
 	if got := (Sweep{Rates: []float64{1}}).Size(); got != 1 {
 		t.Errorf("zero-trials size = %d, want 1", got)
+	}
+}
+
+// goroutineID parses the current goroutine's id from a stack header —
+// test-only introspection to pin scheduling, never for production logic.
+func goroutineID() string {
+	buf := make([]byte, 64)
+	buf = buf[:runtime.Stack(buf, false)]
+	// "goroutine 123 [running]:" — take the second field.
+	return strings.Fields(string(buf))[1]
+}
+
+// TestSinkRunsOnTrialGoroutine pins the Hooks.Sink contract the
+// observability layer relies on: the sink observes each trial on the
+// same goroutine that executed it, synchronously after fn returns, for
+// both executed and cache-hit trials.
+func TestSinkRunsOnTrialGoroutine(t *testing.T) {
+	s := Sweep{Rates: []float64{0.1, 0.2}, Trials: 8, Seed: 5, Workers: 4}
+	var ran sync.Map // seed -> goroutine id of the fn call
+	lookup := func(rateIdx, trial int) (float64, bool) {
+		if trial == 0 { // cache-hit path must honor the contract too
+			ran.Store(s.TrialSeed(rateIdx, trial), goroutineID())
+			return 1, true
+		}
+		return 0, false
+	}
+	var mismatches atomic.Int64
+	_, err := s.RunHooked(context.Background(), func(rate float64, seed uint64) float64 {
+		ran.Store(seed, goroutineID())
+		return rate
+	}, Mean, Hooks{Lookup: lookup, Sink: func(tr Trial) {
+		want, ok := ran.Load(tr.Seed)
+		if !ok || want.(string) != goroutineID() {
+			mismatches.Add(1)
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := mismatches.Load(); n != 0 {
+		t.Errorf("%d trials delivered to the sink on a different goroutine than ran them", n)
 	}
 }

@@ -1,0 +1,248 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"robustify/internal/fpu"
+)
+
+// bitFlip returns the XOR mask of a single flipped bit.
+func bitFlip(bit uint) uint64 { return uint64(1) << bit }
+
+func TestRecorderBitClassification(t *testing.T) {
+	r := &FaultRecorder{}
+	r.FaultInjected(fpu.OpAdd, 1, bitFlip(63)) // sign
+	r.FaultInjected(fpu.OpMul, 2, bitFlip(52)) // lowest exponent bit
+	r.FaultInjected(fpu.OpMul, 3, bitFlip(62)) // highest exponent bit
+	r.FaultInjected(fpu.OpAdd, 4, bitFlip(0))  // lowest mantissa bit
+	r.FaultInjected(fpu.OpAdd, 5, bitFlip(51)) // highest mantissa bit
+	r.FaultInjected(fpu.OpDiv, 500, 0b11)      // multi-bit (memory strike)
+	if r.Sign != 1 || r.Exponent != 2 || r.Mantissa != 2 || r.MultiBit != 1 {
+		t.Errorf("classification = sign %d exp %d man %d multi %d, want 1/2/2/1",
+			r.Sign, r.Exponent, r.Mantissa, r.MultiBit)
+	}
+	if r.ValueFaults != 6 {
+		t.Errorf("ValueFaults = %d, want 6", r.ValueFaults)
+	}
+	if r.PerOp[fpu.OpAdd] != 3 || r.PerOp[fpu.OpMul] != 2 || r.PerOp[fpu.OpDiv] != 1 {
+		t.Errorf("PerOp = %v", r.PerOp)
+	}
+	// Faults at flops 1..5 are within clusterGap of their predecessor; the
+	// one at 500 is not. Four clustered hits.
+	if r.Clustered != 4 {
+		t.Errorf("Clustered = %d, want 4", r.Clustered)
+	}
+}
+
+func TestRecorderIterationBuckets(t *testing.T) {
+	r := &FaultRecorder{}
+	r.FaultInjected(fpu.OpAdd, 1, bitFlip(10)) // before any mark: bucket 0
+	r.IterationMark()
+	r.CompareFault(100) // 1 iteration: bucket 1
+	for i := 0; i < 6; i++ {
+		r.IterationMark()
+	}
+	r.FaultInjected(fpu.OpMul, 1000, bitFlip(3)) // 7 iterations: bucket 3 (4-7)
+	s := r.Summary()
+	if s.ByIter["0"] != 1 || s.ByIter["1"] != 1 || s.ByIter["4-7"] != 1 {
+		t.Errorf("ByIter = %v", s.ByIter)
+	}
+	if s.Compares != 1 || s.Total != 3 {
+		t.Errorf("summary = %+v", s)
+	}
+}
+
+func TestRecorderMergeAndSummary(t *testing.T) {
+	a, b := &FaultRecorder{}, &FaultRecorder{}
+	a.FaultInjected(fpu.OpAdd, 1, bitFlip(63))
+	b.FaultInjected(fpu.OpMul, 2, bitFlip(5))
+	b.MemoryFaults(128, 3)
+	a.Merge(b)
+	if a.ValueFaults != 2 || a.Sign != 1 || a.Mantissa != 1 {
+		t.Errorf("merged = %+v", a)
+	}
+	if a.MemScans != 1 || a.MemWords != 128 || a.MemFaults != 3 {
+		t.Errorf("merged memory counters = %d/%d/%d", a.MemScans, a.MemWords, a.MemFaults)
+	}
+	s := a.Summary()
+	if s.Total != 5 { // 2 value + 3 memory
+		t.Errorf("Total = %d, want 5", s.Total)
+	}
+	if s.ByOp["add"] != 1 || s.ByOp["mul"] != 1 {
+		t.Errorf("ByOp = %v", s.ByOp)
+	}
+}
+
+func TestCollectorTakeMerges(t *testing.T) {
+	c := NewCollector()
+	o1 := c.Observer(0.01, 7).(*FaultRecorder)
+	o2 := c.Observer(0.01, 7).(*FaultRecorder) // second unit, same trial
+	c.Observer(0.01, 8)                        // different trial, untouched
+	o1.FaultInjected(fpu.OpAdd, 1, bitFlip(63))
+	o2.FaultInjected(fpu.OpMul, 2, bitFlip(5))
+	got := c.Take(0.01, 7)
+	if got == nil || got.ValueFaults != 2 {
+		t.Fatalf("Take = %+v, want 2 merged faults", got)
+	}
+	if c.Take(0.01, 7) != nil {
+		t.Error("second Take returned recorders again")
+	}
+	if c.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", c.Pending())
+	}
+}
+
+func TestCollectorDrainByRate(t *testing.T) {
+	c := NewCollector()
+	c.Observer(0.01, 1).(*FaultRecorder).FaultInjected(fpu.OpAdd, 1, bitFlip(63))
+	c.Observer(0.01, 2).(*FaultRecorder).FaultInjected(fpu.OpAdd, 1, bitFlip(5))
+	c.Observer(0.1, 1).(*FaultRecorder).CompareFault(9)
+	byRate := c.DrainByRate()
+	if len(byRate) != 2 {
+		t.Fatalf("DrainByRate = %d rates, want 2", len(byRate))
+	}
+	if byRate[0.01].ValueFaults != 2 || byRate[0.1].CompareFaults != 1 {
+		t.Errorf("byRate = %+v / %+v", byRate[0.01], byRate[0.1])
+	}
+	if c.Pending() != 0 {
+		t.Errorf("Pending after drain = %d", c.Pending())
+	}
+}
+
+func TestRingWrapsAndOrders(t *testing.T) {
+	r := NewRing(3)
+	for i := 0; i < 5; i++ {
+		r.Emit("kind", "c0001", string(rune('a'+i)))
+	}
+	evs := r.Snapshot()
+	if len(evs) != 3 {
+		t.Fatalf("Snapshot len = %d, want 3", len(evs))
+	}
+	// Oldest-first, holding the last three emits (c, d, e) with
+	// monotonically increasing sequence numbers.
+	for i, want := range []string{"c", "d", "e"} {
+		if evs[i].Detail != want {
+			t.Errorf("evs[%d].Detail = %q, want %q", i, evs[i].Detail, want)
+		}
+		if i > 0 && evs[i].Seq != evs[i-1].Seq+1 {
+			t.Errorf("Seq not contiguous: %d after %d", evs[i].Seq, evs[i-1].Seq)
+		}
+	}
+}
+
+// TestHistPromExposition is the golden test for the text exposition
+// format: cumulative le buckets, _sum, _count, sorted labels.
+func TestHistPromExposition(t *testing.T) {
+	s := NewHistSet()
+	s.Observe("lp", 2*time.Millisecond)  // le 0.0025 bucket
+	s.Observe("lp", 40*time.Millisecond) // le 0.05
+	s.Observe("apsp", 20*time.Second)    // +Inf
+	var b strings.Builder
+	s.WriteProm(&b, "x_seconds", "workload")
+	got := b.String()
+	for _, want := range []string{
+		"# TYPE x_seconds histogram\n",
+		`x_seconds_bucket{workload="apsp",le="10"} 0` + "\n",
+		`x_seconds_bucket{workload="apsp",le="+Inf"} 1` + "\n",
+		`x_seconds_sum{workload="apsp"} 20` + "\n",
+		`x_seconds_count{workload="apsp"} 1` + "\n",
+		`x_seconds_bucket{workload="lp",le="0.001"} 0` + "\n",
+		`x_seconds_bucket{workload="lp",le="0.0025"} 1` + "\n",
+		`x_seconds_bucket{workload="lp",le="0.05"} 2` + "\n",
+		`x_seconds_bucket{workload="lp",le="+Inf"} 2` + "\n",
+		`x_seconds_count{workload="lp"} 2` + "\n",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("exposition missing %q:\n%s", want, got)
+		}
+	}
+	// apsp sorts before lp.
+	if strings.Index(got, `workload="apsp"`) > strings.Index(got, `workload="lp"`) {
+		t.Errorf("labels not sorted:\n%s", got)
+	}
+}
+
+func TestTelemetryAppendAndFloat(t *testing.T) {
+	dir := t.TempDir()
+	tel, err := OpenTelemetry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := TrialRecord{
+		Campaign: "c0001", Unit: "lp", Series: "robust",
+		Rate: 0.01, Seed: 42, Value: Float(math.NaN()),
+	}
+	if err := tel.Append("trial", rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := tel.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(dir, TelemetryFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env struct {
+		TS   time.Time       `json:"ts"`
+		Kind string          `json:"kind"`
+		Rec  json.RawMessage `json:"rec"`
+	}
+	if err := json.Unmarshal(b, &env); err != nil {
+		t.Fatalf("envelope does not parse: %v\n%s", err, b)
+	}
+	if env.Kind != "trial" || env.TS.IsZero() {
+		t.Errorf("envelope = %+v", env)
+	}
+	if !strings.Contains(string(env.Rec), `"value":"NaN"`) {
+		t.Errorf("NaN value not stringified: %s", env.Rec)
+	}
+}
+
+func TestHubNilSafe(t *testing.T) {
+	var h *Hub
+	h.Emit("x", "c", "d")
+	h.SetMirrorEvents(true)
+	h.RegisterCampaign("c", "dir")
+	h.ObserveTrial("lp", time.Second)
+	h.AppendTrial("dir", TrialRecord{})
+	if h.Observer(0.1, 1) != nil {
+		t.Error("nil hub returned an observer")
+	}
+	if h.TakeFaults(0.1, 1) != nil {
+		t.Error("nil hub returned a recorder")
+	}
+	if h.Events() != nil {
+		t.Error("nil hub returned events")
+	}
+	h.WriteMetrics(&strings.Builder{})
+	if err := h.Close(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHubMirrorEvents(t *testing.T) {
+	dir := t.TempDir()
+	h := NewHub()
+	defer h.Close()
+	h.SetMirrorEvents(true)
+	h.RegisterCampaign("c0001", dir)
+	h.Emit("campaign.running", "c0001", "")
+	h.Emit("lease.acquired", "c9999", "not registered; ring only")
+	if got := len(h.Events()); got != 2 {
+		t.Errorf("ring has %d events, want 2", got)
+	}
+	b, err := os.ReadFile(filepath.Join(dir, TelemetryFile))
+	if err != nil {
+		t.Fatalf("mirrored telemetry missing: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(b)), "\n")
+	if len(lines) != 1 || !strings.Contains(lines[0], "campaign.running") {
+		t.Errorf("telemetry = %q, want exactly the registered campaign's event", lines)
+	}
+}

@@ -1,0 +1,230 @@
+// Package obs is the repository's observability layer: fault-placement
+// telemetry, lifecycle trace events, latency histograms, and the telemetry
+// JSONL sidecar written next to campaign stores.
+//
+// Everything here is deterministic-safe by construction. Fault recorders
+// are passive fpu.Observer taps that consume no randomness and never touch
+// a committed value, so attaching them cannot perturb a per-seed pin.
+// Wall-clock timestamps are allowed in this package — but only on the
+// diagnostics side (ring events, telemetry JSONL); nothing here ever
+// writes into a campaign store or any other resume-identity artifact.
+// robustlint's notimeinartifacts analyzer scopes this package to enforce
+// exactly that split.
+package obs
+
+import (
+	"math/bits"
+	"strconv"
+
+	"robustify/internal/fpu"
+)
+
+// clusterGap is the maximum FLOP distance between two consecutive faults
+// for the second to count as "clustered" — the signature of the burst
+// model's low-voltage windows (default window ~64 FLOPs, so consecutive
+// strikes inside a window land well within 8 ops of each other) versus the
+// default model's LFSR gaps (mean 1/rate FLOPs, ≫ 8 at every swept rate).
+const clusterGap = 8
+
+// iterBuckets is the number of log2 iteration buckets a recorder tracks:
+// bucket k counts faults injected while the solver had completed
+// [2^(k-1), 2^k) iterations (bucket 0 = before the first iteration mark).
+// 2^20 iterations exceeds every workload in the repo.
+const iterBuckets = 21
+
+// FaultRecorder accumulates fault-placement counters for one fpu.Unit. It
+// implements fpu.Observer. The zero value is ready to use.
+//
+// A recorder is written by the single goroutine running its unit and must
+// only be read after that unit's trial completes (the harness delivers
+// results on the computing goroutine, so a Sink reading the recorder for
+// its own trial is safe).
+type FaultRecorder struct {
+	// ValueFaults counts corrupted FPU results; CompareFaults counts
+	// inverted comparisons (flag corruption, no value bits involved).
+	ValueFaults   uint64
+	CompareFaults uint64
+
+	// PerOp counts faults by operation class, indexed by fpu.Op.
+	PerOp [8]uint64
+
+	// Sign, Exponent, and Mantissa classify value faults by the IEEE-754
+	// field of the highest flipped bit. MultiBit counts faults that
+	// flipped more than one bit (memory strikes can; the FLOP-level
+	// models flip exactly one).
+	Sign     uint64
+	Exponent uint64
+	Mantissa uint64
+	MultiBit uint64
+
+	// Clustered counts faults landing within clusterGap FLOPs of the
+	// previous fault — burst-window occupancy.
+	Clustered uint64
+
+	// Iterations counts solver iteration marks; IterBucket[k] counts
+	// faults injected in log2 iteration bucket k.
+	Iterations uint64
+	IterBucket [iterBuckets]uint64
+
+	// MemScans counts memory-strike passes over stored vectors, MemWords
+	// the words scanned, and MemFaults the words corrupted.
+	MemScans  uint64
+	MemWords  uint64
+	MemFaults uint64
+
+	lastFlop uint64
+	haveLast bool
+}
+
+var _ fpu.Observer = (*FaultRecorder)(nil)
+
+// FaultInjected implements fpu.Observer.
+func (r *FaultRecorder) FaultInjected(op fpu.Op, flop uint64, flipped uint64) {
+	r.ValueFaults++
+	if int(op) < len(r.PerOp) {
+		r.PerOp[op]++
+	}
+	switch hi := bits.Len64(flipped); {
+	case bits.OnesCount64(flipped) > 1:
+		r.MultiBit++
+	case hi == 64:
+		r.Sign++
+	case hi >= 53: // bits 52..62: exponent field
+		r.Exponent++
+	case hi >= 1:
+		r.Mantissa++
+	}
+	r.placed(flop)
+}
+
+// CompareFault implements fpu.Observer.
+func (r *FaultRecorder) CompareFault(flop uint64) {
+	r.CompareFaults++
+	r.PerOp[fpu.OpCmp]++
+	r.placed(flop)
+}
+
+// MemoryFaults implements fpu.Observer.
+func (r *FaultRecorder) MemoryFaults(words int, faults uint64) {
+	r.MemScans++
+	r.MemWords += uint64(words)
+	r.MemFaults += faults
+}
+
+// IterationMark implements fpu.Observer.
+func (r *FaultRecorder) IterationMark() { r.Iterations++ }
+
+// placed updates the placement statistics shared by value and compare
+// faults: the iteration bucket and the burst-clustering counter.
+func (r *FaultRecorder) placed(flop uint64) {
+	if b := bits.Len64(r.Iterations); b < iterBuckets {
+		r.IterBucket[b]++
+	} else {
+		r.IterBucket[iterBuckets-1]++
+	}
+	if r.haveLast && flop-r.lastFlop <= clusterGap {
+		r.Clustered++
+	}
+	r.lastFlop = flop
+	r.haveLast = true
+}
+
+// Merge folds other into r. Trial functions may build several faulty units
+// (one per solver under test); the collector merges their recorders into
+// one per-trial summary.
+func (r *FaultRecorder) Merge(other *FaultRecorder) {
+	if other == nil {
+		return
+	}
+	r.ValueFaults += other.ValueFaults
+	r.CompareFaults += other.CompareFaults
+	for i := range r.PerOp {
+		r.PerOp[i] += other.PerOp[i]
+	}
+	r.Sign += other.Sign
+	r.Exponent += other.Exponent
+	r.Mantissa += other.Mantissa
+	r.MultiBit += other.MultiBit
+	r.Clustered += other.Clustered
+	r.Iterations += other.Iterations
+	for i := range r.IterBucket {
+		r.IterBucket[i] += other.IterBucket[i]
+	}
+	r.MemScans += other.MemScans
+	r.MemWords += other.MemWords
+	r.MemFaults += other.MemFaults
+}
+
+// Total returns the number of recorded faults of all kinds.
+func (r *FaultRecorder) Total() uint64 {
+	return r.ValueFaults + r.CompareFaults + r.MemFaults
+}
+
+// FaultSummary is the JSON form of a recorder, embedded in telemetry
+// records. Zero-valued fields are omitted so the common case (few faults,
+// one model family) stays compact.
+type FaultSummary struct {
+	Total      uint64            `json:"total"`
+	Compares   uint64            `json:"compares,omitempty"`
+	ByOp       map[string]uint64 `json:"by_op,omitempty"`
+	Sign       uint64            `json:"sign,omitempty"`
+	Exponent   uint64            `json:"exponent,omitempty"`
+	Mantissa   uint64            `json:"mantissa,omitempty"`
+	MultiBit   uint64            `json:"multi_bit,omitempty"`
+	Clustered  uint64            `json:"clustered,omitempty"`
+	Iterations uint64            `json:"iterations,omitempty"`
+	ByIter     map[string]uint64 `json:"by_iter_bucket,omitempty"`
+	MemScans   uint64            `json:"mem_scans,omitempty"`
+	MemWords   uint64            `json:"mem_words,omitempty"`
+	MemFaults  uint64            `json:"mem_faults,omitempty"`
+}
+
+// Summary converts the counters to their wire form.
+func (r *FaultRecorder) Summary() FaultSummary {
+	s := FaultSummary{
+		Total:      r.Total(),
+		Compares:   r.CompareFaults,
+		Sign:       r.Sign,
+		Exponent:   r.Exponent,
+		Mantissa:   r.Mantissa,
+		MultiBit:   r.MultiBit,
+		Clustered:  r.Clustered,
+		Iterations: r.Iterations,
+		MemScans:   r.MemScans,
+		MemWords:   r.MemWords,
+		MemFaults:  r.MemFaults,
+	}
+	for op, n := range r.PerOp {
+		if n > 0 {
+			if s.ByOp == nil {
+				s.ByOp = make(map[string]uint64)
+			}
+			s.ByOp[fpu.Op(op).String()] = n
+		}
+	}
+	for b, n := range r.IterBucket {
+		if n > 0 {
+			if s.ByIter == nil {
+				s.ByIter = make(map[string]uint64)
+			}
+			s.ByIter[iterBucketLabel(b)] = n
+		}
+	}
+	return s
+}
+
+// iterBucketLabel names log2 bucket b as an iteration range.
+func iterBucketLabel(b int) string {
+	if b == 0 {
+		return "0"
+	}
+	lo := uint64(1) << (b - 1)
+	hi := uint64(1)<<b - 1
+	if b == iterBuckets-1 {
+		return strconv.FormatUint(lo, 10) + "+"
+	}
+	if lo == hi {
+		return strconv.FormatUint(lo, 10)
+	}
+	return strconv.FormatUint(lo, 10) + "-" + strconv.FormatUint(hi, 10)
+}

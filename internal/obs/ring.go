@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Event is one lifecycle trace span: a campaign state transition, a trial
+// finishing, a shard lease moving, a tune candidate changing rungs. Events
+// carry wall-clock timestamps — they are diagnostics, never part of any
+// resume-identity artifact.
+type Event struct {
+	Seq      uint64    `json:"seq"`
+	Time     time.Time `json:"time"`
+	Kind     string    `json:"kind"`
+	Campaign string    `json:"campaign,omitempty"`
+	Detail   string    `json:"detail,omitempty"`
+}
+
+// Ring is a bounded in-memory event buffer: writers never block and never
+// allocate beyond the fixed window, old events fall off the back. It is
+// safe for concurrent use.
+type Ring struct {
+	mu   sync.Mutex
+	buf  []Event
+	size int    // events currently retained
+	next uint64 // sequence number of the next event; next % cap is the write slot
+}
+
+// NewRing returns a ring retaining the last n events (minimum 1).
+func NewRing(n int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring{buf: make([]Event, n)}
+}
+
+// Emit appends one event, stamping the wall clock. The timestamp lives
+// only in this diagnostic buffer (and, when mirroring is enabled, the
+// telemetry JSONL) — it never reaches a campaign store.
+func (r *Ring) Emit(kind, campaign, detail string) {
+	now := time.Now().UTC()
+	r.mu.Lock()
+	r.buf[r.next%uint64(len(r.buf))] = Event{
+		Seq: r.next, Time: now, Kind: kind, Campaign: campaign, Detail: detail,
+	}
+	r.next++
+	if r.size < len(r.buf) {
+		r.size++
+	}
+	r.mu.Unlock()
+}
+
+// Snapshot returns the retained events, oldest first.
+func (r *Ring) Snapshot() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, r.size)
+	for i := 0; i < r.size; i++ {
+		out = append(out, r.buf[(r.next-uint64(r.size)+uint64(i))%uint64(len(r.buf))])
+	}
+	return out
+}
+
+// Len returns the number of retained events.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.size
+}

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// TelemetryFile is the name of the diagnostics sidecar written next to a
+// campaign store. It is append-only JSONL, deliberately separate from
+// trials.jsonl: telemetry carries wall-clock timestamps and latency data
+// and is NOT part of the campaign's resume identity — deleting it loses
+// diagnostics, never results.
+const TelemetryFile = "telemetry.jsonl"
+
+// Telemetry appends timestamped diagnostic records to a campaign
+// directory's telemetry.jsonl. It is safe for concurrent use.
+type Telemetry struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// OpenTelemetry opens (creating if needed) dir/telemetry.jsonl for append.
+func OpenTelemetry(dir string) (*Telemetry, error) {
+	f, err := os.OpenFile(filepath.Join(dir, TelemetryFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("obs: open telemetry: %w", err)
+	}
+	return &Telemetry{f: f}, nil
+}
+
+// TrialRecord is the telemetry line written per completed trial: the
+// trial's identity and value (duplicating the store record so telemetry is
+// self-contained), its wall-clock latency, and — when a fault recorder was
+// attached — where its faults landed.
+type TrialRecord struct {
+	Campaign string  `json:"campaign,omitempty"`
+	Unit     string  `json:"unit,omitempty"`
+	Series   string  `json:"series,omitempty"`
+	RateIdx  int     `json:"rate_idx"`
+	TrialIdx int     `json:"trial_idx"`
+	Rate     float64 `json:"rate"`
+	Seed     uint64  `json:"seed"`
+	Value    Float   `json:"value"`
+
+	// DurationMicros is the trial's wall-clock compute time. Latencies
+	// are diagnostics: they never feed back into results.
+	DurationMicros int64 `json:"duration_us,omitempty"`
+
+	Faults *FaultSummary `json:"faults,omitempty"`
+}
+
+// Float marshals NaN and ±Inf as JSON strings (encoding/json rejects them
+// as numbers); trial values under heavy fault injection are routinely
+// non-finite.
+type Float float64
+
+// MarshalJSON implements json.Marshaler.
+func (f Float) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return json.Marshal(fmt.Sprint(v))
+	}
+	return json.Marshal(v)
+}
+
+// Append writes one telemetry line {"ts": ..., "kind": kind, "rec": rec},
+// stamping the wall clock. Telemetry is the one serialization path in the
+// repository where that is legal: the JSONL sidecar is diagnostics with no
+// resume-identity contract, unlike the store and trace artifacts the
+// notimeinartifacts analyzer guards.
+//
+//lint:artifact-time-exempt telemetry.jsonl is a diagnostics sidecar, explicitly outside resume byte-identity
+func (t *Telemetry) Append(kind string, rec any) error {
+	line := struct {
+		TS   string `json:"ts"`
+		Kind string `json:"kind"`
+		Rec  any    `json:"rec"`
+	}{TS: time.Now().UTC().Format(time.RFC3339Nano), Kind: kind, Rec: rec}
+	b, err := json.Marshal(line)
+	if err != nil {
+		return fmt.Errorf("obs: marshal telemetry record: %w", err)
+	}
+	b = append(b, '\n')
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.f == nil {
+		return fmt.Errorf("obs: telemetry closed")
+	}
+	_, err = t.f.Write(b)
+	return err
+}
+
+// Close closes the underlying file; further Appends fail.
+func (t *Telemetry) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.f == nil {
+		return nil
+	}
+	err := t.f.Close()
+	t.f = nil
+	return err
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"path/filepath"
@@ -14,6 +15,13 @@ import (
 	"robustify/internal/campaign"
 	"robustify/internal/fsutil"
 )
+
+// EventSink receives tune lifecycle trace events (tune.submitted,
+// tune.rung, tune.eval, tune.done, ...), labeled with the run id. The
+// interface mirrors dispatch.EventSink so *obs.Hub satisfies both.
+type EventSink interface {
+	Emit(kind, campaign, detail string)
+}
 
 // traceFile is the durable search state of one tune run, written
 // atomically (temp + rename) inside the run's directory under the tune
@@ -45,6 +53,33 @@ type Manager struct {
 	order  []string
 	nextID int
 	closed bool
+
+	// events has its own lock so emit is safe from any call site,
+	// including paths that already hold m.mu (Resume emits under it).
+	evmu   sync.Mutex
+	events EventSink
+}
+
+// SetEvents attaches a trace-event sink for run lifecycle events. Call
+// at boot, before runs are submitted or resumed.
+func (m *Manager) SetEvents(sink EventSink) {
+	m.evmu.Lock()
+	m.events = sink
+	m.evmu.Unlock()
+}
+
+// eventSink reads the attached sink (nil when none).
+func (m *Manager) eventSink() EventSink {
+	m.evmu.Lock()
+	defer m.evmu.Unlock()
+	return m.events
+}
+
+// emit forwards one lifecycle event, labeled with the run id.
+func (m *Manager) emit(kind, id, detail string) {
+	if sink := m.eventSink(); sink != nil {
+		sink.Emit(kind, id, detail)
+	}
 }
 
 type run struct {
@@ -52,6 +87,9 @@ type run struct {
 	dir  string
 	spec Spec
 	w    campaign.Workload
+	// events is set by the drive goroutine before the search starts and
+	// read only from it, so rung/eval events need no locking.
+	events EventSink
 
 	mu         sync.Mutex
 	trace      *Trace
@@ -253,6 +291,7 @@ func (m *Manager) Submit(spec Spec) (string, error) {
 	m.order = append(m.order, id)
 	go m.drive(ctx, r, r.done)
 	m.mu.Unlock()
+	m.emit("tune.submitted", id, spec.Title())
 	return id, nil
 }
 
@@ -295,6 +334,7 @@ func (m *Manager) Resume(id string) error {
 	r.persistLocked()
 	r.mu.Unlock()
 	go m.drive(ctx, r, done)
+	m.emit("tune.resumed", id, "")
 	return nil
 }
 
@@ -352,6 +392,7 @@ func (m *Manager) Cancel(id string) error {
 			log.Printf("tune: cancel evaluation %s: %v", cid, err)
 		}
 	}
+	m.emit("tune.cancel", id, "")
 	return nil
 }
 
@@ -491,6 +532,7 @@ func (m *Manager) runByID(id string) (*run, error) {
 // drive owns one search attempt from (re)start to a terminal state.
 func (m *Manager) drive(ctx context.Context, r *run, done chan struct{}) {
 	defer close(done)
+	r.events = m.eventSink()
 	best, obj, err := r.search(ctx, m.cm)
 	var cancelEvals []string
 	r.mu.Lock()
@@ -518,6 +560,7 @@ func (m *Manager) drive(ctx context.Context, r *run, done chan struct{}) {
 		r.trace.State = StateFailed
 		r.trace.Error = err.Error()
 	}
+	state, detail := r.trace.State, r.trace.Error
 	r.persistLocked()
 	r.mu.Unlock()
 	for _, cid := range cancelEvals {
@@ -525,6 +568,7 @@ func (m *Manager) drive(ctx context.Context, r *run, done chan struct{}) {
 			log.Printf("tune: cancel evaluation %s: %v", cid, err)
 		}
 	}
+	m.emit("tune."+state, r.id, detail)
 }
 
 // search replays the deterministic search against the trace: already
@@ -544,6 +588,7 @@ func (r *run) search(ctx context.Context, cm *campaign.Manager) (map[string]floa
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		r.emit("tune.rung", fmt.Sprintf("candidates=%d trials=%d", len(configs), trials))
 		// Submission pass, in candidate order: ordinals, seeds, and
 		// campaign names are fixed by this order alone. The context is
 		// re-checked per candidate so a cancelled search stops submitting
@@ -582,6 +627,7 @@ func (r *run) search(ctx context.Context, cm *campaign.Manager) (map[string]floa
 			}
 			obj := objective(table, r.w.Maximize)
 			r.completeEval(e, obj)
+			r.emit("tune.eval", fmt.Sprintf("e%04d objective=%g", e.N, obj))
 			out[i] = obj
 		}
 		return out, nil
@@ -721,6 +767,38 @@ func waitCampaign(ctx context.Context, cm *campaign.Manager, id string) error {
 			log.Printf("tune: resume evaluation %s: %v", id, err)
 		}
 	}
+}
+
+// emit forwards one search-progress event, labeled with the run id.
+func (r *run) emit(kind, detail string) {
+	if r.events != nil {
+		r.events.Emit(kind, r.id, detail)
+	}
+}
+
+// WriteMetrics appends the tune layer's Prometheus families — runs by
+// state and evaluation progress. robustd registers it on the campaign
+// manager's /metrics via AddMetrics, so both layers share one scrape.
+func (m *Manager) WriteMetrics(w io.Writer) {
+	counts := map[string]int{
+		StateRunning: 0, StateDone: 0, StateFailed: 0,
+		StateInterrupted: 0, StateCancelled: 0,
+	}
+	var submitted, completed int
+	for _, s := range m.List() {
+		counts[s.State]++
+		submitted += s.EvalsSubmitted
+		completed += s.EvalsCompleted
+	}
+	fmt.Fprintf(w, "# HELP robustd_tune_runs Tune runs in the registry by lifecycle state.\n")
+	fmt.Fprintf(w, "# TYPE robustd_tune_runs gauge\n")
+	for _, state := range []string{StateRunning, StateDone, StateFailed, StateInterrupted, StateCancelled} {
+		fmt.Fprintf(w, "robustd_tune_runs{state=%q} %d\n", state, counts[state])
+	}
+	fmt.Fprintf(w, "# HELP robustd_tune_evals Candidate evaluations across all tune runs.\n")
+	fmt.Fprintf(w, "# TYPE robustd_tune_evals gauge\n")
+	fmt.Fprintf(w, "robustd_tune_evals{kind=\"submitted\"} %d\n", submitted)
+	fmt.Fprintf(w, "robustd_tune_evals{kind=\"completed\"} %d\n", completed)
 }
 
 // campaignByName finds a campaign by its (deterministic) display name.
