@@ -230,7 +230,7 @@ func writeTelemetry(path string, collector *obs.Collector) error {
 // runCampaign executes one figure through the campaign engine so every
 // completed trial is durable under dir and prior runs are resumed instead
 // of repeated. A nil table with nil error means ctx was cancelled.
-func runCampaign(ctx context.Context, dir, id string, cfg figures.Config) (*harness.Table, error) {
+func runCampaign(ctx context.Context, dir, id string, cfg figures.Config) (table *harness.Table, err error) {
 	spec := campaign.Spec{
 		Figure:     id,
 		Trials:     cfg.Trials,
@@ -247,7 +247,14 @@ func runCampaign(ctx context.Context, dir, id string, cfg figures.Config) (*harn
 	if err != nil {
 		return nil, err
 	}
-	defer st.Close()
+	defer func() {
+		// The close is the store's last flush: reporting a table as
+		// durable over a failed close would claim trials the next resume
+		// cannot find.
+		if cerr := st.Close(); cerr != nil && err == nil {
+			table, err = nil, fmt.Errorf("closing store %s: %w", st.Dir(), cerr)
+		}
+	}()
 	if prev, ok, err := st.LoadSpec(); err != nil {
 		return nil, err
 	} else if ok && !campaign.ResumeCompatible(prev, spec) {

@@ -62,15 +62,27 @@ type Pass struct {
 	Pkg   *types.Package
 	Info  *types.Info
 
+	// Facts is the call-graph database over every package of the run —
+	// the cross-function layer the lock-safety, goroutine-hygiene,
+	// error-durability, and registry-exhaustiveness analyzers query.
+	Facts *Facts
+
+	pkg     *Package
 	exempt  *exemptIndex
 	collect func(Diagnostic)
 }
 
-// Diagnostic is one reported finding.
+// Diagnostic is one reported finding. Exempted diagnostics — findings a
+// //lint: directive suppressed, together with the directive's written
+// reason — are only collected when the run asks for them (the JSON
+// output surfaces them; plain text and the exit status never count
+// them).
 type Diagnostic struct {
-	Pos      token.Position
-	Analyzer string
-	Message  string
+	Pos          token.Position
+	Analyzer     string
+	Message      string
+	Exempted     bool
+	ExemptReason string
 }
 
 func (d Diagnostic) String() string {
@@ -81,7 +93,14 @@ func (d Diagnostic) String() string {
 // for this analyzer covers it.
 func (p *Pass) Report(pos token.Pos, format string, args ...any) {
 	position := p.Fset.Position(pos)
-	if p.exempt.covers(p.Analyzer.Directive, position) {
+	if reason, covered := p.exempt.coveredBy(p.Analyzer.Directive, position); covered {
+		p.collect(Diagnostic{
+			Pos:          position,
+			Analyzer:     p.Analyzer.Name,
+			Message:      fmt.Sprintf(format, args...),
+			Exempted:     true,
+			ExemptReason: reason,
+		})
 		return
 	}
 	p.collect(Diagnostic{

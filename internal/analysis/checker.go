@@ -4,7 +4,9 @@ import (
 	"sort"
 )
 
-// All returns the robustlint analyzer suite in stable order.
+// All returns the robustlint analyzer suite in stable order. The first
+// five are single-function AST passes (PR 6); the last four query the
+// cross-function facts layer (facts.go) built once per run.
 func All() []*Analyzer {
 	return []*Analyzer{
 		FPUMediation,
@@ -12,6 +14,10 @@ func All() []*Analyzer {
 		NoTimeInArtifacts,
 		AtomicWrite,
 		SeededRand,
+		LockSafety,
+		GoroutineHygiene,
+		ErrDurability,
+		RegExhaustive,
 	}
 }
 
@@ -21,44 +27,78 @@ func All() []*Analyzer {
 // trail the directives exist to provide.
 const DirectiveHygieneName = "lintdirective"
 
+// knownDirectives returns the exemption directives of every registered
+// analyzer, and separately the full set of valid //lint: names (markers
+// included) the hygiene check accepts.
+func knownDirectives() (exempts, all map[string]bool) {
+	exempts = make(map[string]bool)
+	for _, a := range All() { // all registered directives stay valid even under -only
+		if a.Directive != "" {
+			exempts[a.Directive] = true
+		}
+	}
+	all = map[string]bool{
+		DirectiveDurable: true,
+		DirectiveEnum:    true,
+	}
+	for d := range exempts {
+		all[d] = true
+	}
+	return exempts, all
+}
+
 // Run loads the packages matching patterns under dir and applies every
 // analyzer to every package, returning the surviving (non-exempted)
 // diagnostics sorted by position. Directive hygiene — unknown //lint:
 // directives and directives with no reason — is always checked.
 func Run(dir string, analyzers []*Analyzer, patterns ...string) ([]Diagnostic, error) {
+	diags, err := RunWithExempted(dir, analyzers, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	return dropExempted(diags), nil
+}
+
+// RunWithExempted is Run, but the result additionally includes the
+// findings //lint: directives suppressed, each carrying its Exempted
+// flag and the directive's written reason. The JSON output mode uses
+// this so the machine-readable report shows the full audit surface; the
+// exit status and text output must still count only live findings.
+func RunWithExempted(dir string, analyzers []*Analyzer, patterns ...string) ([]Diagnostic, error) {
 	pkgs, err := Load(dir, patterns...)
 	if err != nil {
 		return nil, err
 	}
+	facts := BuildFacts(pkgs)
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
-		diags = append(diags, RunPackage(pkg, "", analyzers)...)
+		diags = append(diags, runPackage(pkg, "", analyzers, facts)...)
 	}
 	sortDiagnostics(diags)
 	return diags, nil
 }
 
-// RunPackage applies analyzers to one loaded package. pathAs, when
-// non-empty, overrides the package's import path for analyzer scoping —
-// the fixture runner uses it so testdata packages can impersonate the
-// real paths an analyzer audits.
+// RunPackage applies analyzers to one loaded package, with call-graph
+// facts built over that package alone. pathAs, when non-empty, overrides
+// the package's import path for analyzer scoping — the fixture runner
+// uses it so testdata packages can impersonate the real paths an
+// analyzer audits. Exempted findings are dropped, as in Run.
 func RunPackage(pkg *Package, pathAs string, analyzers []*Analyzer) []Diagnostic {
+	return dropExempted(runPackage(pkg, pathAs, analyzers, BuildFacts([]*Package{pkg})))
+}
+
+func runPackage(pkg *Package, pathAs string, analyzers []*Analyzer, facts *Facts) []Diagnostic {
 	path := pkg.Path
 	if pathAs != "" {
 		path = pathAs
 	}
-	known := make(map[string]bool)
-	for _, a := range All() { // all registered directives stay valid even under -only
-		if a.Directive != "" {
-			known[a.Directive] = true
-		}
-	}
-	exempt := buildExemptIndex(pkg.Fset, pkg.Files, known)
+	exempts, valid := knownDirectives()
+	exempt := buildExemptIndex(pkg.Fset, pkg.Files, exempts)
 
 	var diags []Diagnostic
 	collect := func(d Diagnostic) { diags = append(diags, d) }
 
-	diags = append(diags, checkDirectiveHygiene(pkg, known)...)
+	diags = append(diags, checkDirectiveHygiene(pkg, valid)...)
 	for _, a := range analyzers {
 		pass := &Pass{
 			Analyzer: a,
@@ -67,6 +107,8 @@ func RunPackage(pkg *Package, pathAs string, analyzers []*Analyzer) []Diagnostic
 			Files:    pkg.Files,
 			Pkg:      pkg.Pkg,
 			Info:     pkg.Info,
+			Facts:    facts,
+			pkg:      pkg,
 			exempt:   exempt,
 			collect:  collect,
 		}
@@ -75,9 +117,21 @@ func RunPackage(pkg *Package, pathAs string, analyzers []*Analyzer) []Diagnostic
 	return diags
 }
 
+// dropExempted filters out suppressed findings, preserving order.
+func dropExempted(diags []Diagnostic) []Diagnostic {
+	out := diags[:0]
+	for _, d := range diags {
+		if !d.Exempted {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
 // checkDirectiveHygiene reports malformed //lint: comments: unknown
 // directive names (usually typos, which would silently exempt nothing)
-// and directives missing the mandatory reason.
+// and directives missing the mandatory reason — exemptions and marker
+// directives (//lint:durable, //lint:enum) alike.
 func checkDirectiveHygiene(pkg *Package, known map[string]bool) []Diagnostic {
 	var diags []Diagnostic
 	for _, f := range pkg.Files {

@@ -38,8 +38,12 @@ type directive struct {
 	end    token.Pos
 }
 
-// lineRange is an inclusive exempted line span within one file.
-type lineRange struct{ from, to int }
+// lineRange is an inclusive exempted line span within one file, carrying
+// the directive's written reason so suppressed findings can surface it.
+type lineRange struct {
+	from, to int
+	reason   string
+}
 
 // exemptIndex answers "is this position covered by a directive for this
 // analyzer" across all files of a package.
@@ -48,16 +52,18 @@ type exemptIndex struct {
 	byFile map[string]map[string][]lineRange
 }
 
-func (x *exemptIndex) covers(directiveName string, pos token.Position) bool {
+// coveredBy reports whether a directive for the analyzer spans pos, and
+// with which written reason.
+func (x *exemptIndex) coveredBy(directiveName string, pos token.Position) (string, bool) {
 	if x == nil || directiveName == "" {
-		return false
+		return "", false
 	}
 	for _, r := range x.byFile[pos.Filename][directiveName] {
 		if pos.Line >= r.from && pos.Line <= r.to {
-			return true
+			return r.reason, true
 		}
 	}
-	return false
+	return "", false
 }
 
 // parseDirectives extracts every //lint: comment from f.
@@ -100,6 +106,7 @@ func buildExemptIndex(fset *token.FileSet, files []*ast.File, known map[string]b
 				continue
 			}
 			r := resolveScope(fset, f, d, fileEndLine)
+			r.reason = d.reason
 			spans[d.name] = append(spans[d.name], r)
 		}
 	}
@@ -113,7 +120,7 @@ func resolveScope(fset *token.FileSet, f *ast.File, d directive, fileEndLine int
 
 	// File scope: the directive sits above the package clause.
 	if d.end < f.Package {
-		return lineRange{1, fileEndLine}
+		return lineRange{from: 1, to: fileEndLine}
 	}
 
 	// Declaration scope: the directive is part of a decl's doc comment.
@@ -126,7 +133,7 @@ func resolveScope(fset *token.FileSet, f *ast.File, d directive, fileEndLine int
 			doc = v.Doc
 		}
 		if doc != nil && d.pos >= doc.Pos() && d.end <= doc.End() {
-			return lineRange{fset.Position(decl.Pos()).Line, fset.Position(decl.End()).Line}
+			return lineRange{from: fset.Position(decl.Pos()).Line, to: fset.Position(decl.End()).Line}
 		}
 	}
 
@@ -138,7 +145,7 @@ func resolveScope(fset *token.FileSet, f *ast.File, d directive, fileEndLine int
 	}
 	// Fallback: the directive's own line and the next (covers struct
 	// fields, composite-literal entries, and other non-statement sites).
-	return lineRange{dLine, dLine + 1}
+	return lineRange{from: dLine, to: dLine + 1}
 }
 
 // innermostStmtRange finds the smallest statement or declaration whose
@@ -153,7 +160,7 @@ func innermostStmtRange(fset *token.FileSet, f *ast.File, line int) (lineRange, 
 		to := fset.Position(n.End()).Line
 		if from <= line && line <= to || from == line+1 {
 			if size := to - from; !found || size < bestSize {
-				best, bestSize, found = lineRange{from, to}, size, true
+				best, bestSize, found = lineRange{from: from, to: to}, size, true
 			}
 		}
 	}

@@ -190,6 +190,26 @@ func TestDirectiveHygiene(t *testing.T) {
 	}
 }
 
+func TestLockSafetyFixture(t *testing.T) {
+	// The fixture reproduces the PR-9 deadlock in miniature: an emit
+	// under m.mu whose callee — static and through an interface sink —
+	// reacquires m.mu, plus channel sends parked inside the critical
+	// section. The separate-event-mutex fix shape stays clean.
+	runFixture(t, "locksafety", "", []*Analyzer{LockSafety})
+}
+
+func TestGoroutineHygieneFixture(t *testing.T) {
+	runFixture(t, "goroutinehygiene", "", []*Analyzer{GoroutineHygiene})
+}
+
+func TestErrDurabilityFixture(t *testing.T) {
+	runFixture(t, "errdurability", "", []*Analyzer{ErrDurability})
+}
+
+func TestRegExhaustiveFixture(t *testing.T) {
+	runFixture(t, "regexhaustive", "", []*Analyzer{RegExhaustive})
+}
+
 func TestFPUMediationFaultModelFixture(t *testing.T) {
 	// internal/fpu/faultmodel is in scope: a model whose corruption math is
 	// raw float arithmetic must be flagged; bit-level flips and exempted

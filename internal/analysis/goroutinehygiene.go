@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GoroutineHygiene flags goroutines launched without any visible
+// lifecycle bound — the class behind worker and dispatcher leaks: a
+// `go` statement whose function (transitively, through the call-graph
+// facts) never consumes a cancellation or rendezvous signal and is not
+// pinned by a WaitGroup. Such a goroutine can only exit by running to
+// completion on its own, which in a long-lived daemon usually means it
+// never exits — or worse, keeps writing into a subsystem that has shut
+// down.
+//
+// A launch is considered bounded when the spawned function's transitive
+// closure contains any of:
+//
+//   - a channel receive, a select, or a range over a channel (it parks
+//     on a signal somebody controls);
+//   - ctx.Done() / ctx.Err() usage (context plumbing reaches it);
+//   - (*sync.WaitGroup).Done or Wait (a spawner is accounting for it);
+//
+// or when the go statement passes a context.Context argument to a
+// function the facts layer cannot see into (the benefit of the doubt
+// goes to unanalyzable callees that at least accept a context).
+//
+// Deliberately unbounded goroutines — one-shot servers whose exit is the
+// process's exit, bounded-by-construction helpers — carry
+// //lint:goroutinehygiene-exempt <reason>.
+var GoroutineHygiene = &Analyzer{
+	Name:      "goroutinehygiene",
+	Directive: "goroutinehygiene-exempt",
+	Doc:       "every goroutine needs a cancellation path or a bounding WaitGroup",
+	Run:       runGoroutineHygiene,
+}
+
+func runGoroutineHygiene(pass *Pass) {
+	if pass.Facts == nil {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			checkGoStmt(pass, g)
+			return true
+		})
+	}
+}
+
+func checkGoStmt(pass *Pass, g *ast.GoStmt) {
+	var start callSite
+	switch fun := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		fn := pass.Facts.FactsOf(fun)
+		if fn == nil {
+			return
+		}
+		start = callSite{callee: fn.ID}
+	default:
+		callee, iface := (&factsBuilder{pkg: pass.pkg}).calleeOf(g.Call)
+		if callee == nil {
+			pass.Report(g.Pos(), "goroutine launches a function value the analyzer cannot see into; give it a visible cancellation path or //lint:goroutinehygiene-exempt <reason>")
+			return
+		}
+		sig, _ := callee.Type().(*types.Signature)
+		start = callSite{callee: funcIDOf(callee), iface: iface, name: callee.Name()}
+		if iface && sig != nil {
+			start.sig = sigString(sig)
+		}
+		if pass.Facts.Fn(start.callee) == nil && !iface {
+			// No facts (stdlib or unloaded package): a context argument is
+			// the only visible sign of a cancellation path.
+			if callPassesContext(pass, g.Call) {
+				return
+			}
+			pass.Report(g.Pos(), "goroutine runs %s, which the analyzer cannot see into and which takes no context; bound it or //lint:goroutinehygiene-exempt <reason>", callee.Name())
+			return
+		}
+	}
+	hit := pass.Facts.Reach(start, func(fn *FuncFacts) bool {
+		if fn.CancelWait || fn.WGDone {
+			return true
+		}
+		// A context handed to an unanalyzable callee counts as a path.
+		for _, c := range fn.Calls {
+			if !c.async && !c.iface && pass.Facts.Fn(c.callee) == nil && c.ctxArg {
+				return true
+			}
+		}
+		return false
+	})
+	if hit == nil {
+		pass.Report(g.Pos(), "goroutine has no cancellation path (no ctx/done signal or bounding WaitGroup in reach); bound its lifetime or //lint:goroutinehygiene-exempt <reason>")
+	}
+}
+
+// callPassesContext reports whether any argument of the call has type
+// context.Context.
+func callPassesContext(pass *Pass, call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		if isContextType(pass.pkg.Info.TypeOf(arg)) {
+			return true
+		}
+	}
+	return false
+}
+
+func isContextType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == "context" && n.Obj().Name() == "Context"
+}

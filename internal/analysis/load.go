@@ -14,6 +14,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, type-checked package ready for analysis.
@@ -48,10 +49,41 @@ type listedPkg struct {
 // The loader needs no network and no dependencies beyond the go toolchain:
 // imports are satisfied from the export data the toolchain just produced,
 // read back through go/importer's gc lookup mode.
+//
+// Loads are memoized per process, keyed by the resolved directory and
+// pattern list: loaded packages are read-only after Load returns, so one
+// invocation of the driver — and every test in a binary that analyzes the
+// same tree — pays for `go list -export` and type-checking exactly once,
+// no matter how many analyzers or fixture passes consume the result.
 func Load(dir string, patterns ...string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
+	key := dir
+	if abs, err := filepath.Abs(dir); err == nil {
+		key = abs
+	}
+	key += "\x00" + strings.Join(patterns, "\x00")
+	loadCache.mu.Lock()
+	defer loadCache.mu.Unlock()
+	if pkgs, ok := loadCache.m[key]; ok {
+		return pkgs, nil
+	}
+	pkgs, err := load(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	loadCache.m[key] = pkgs
+	return pkgs, nil
+}
+
+// loadCache memoizes Load results for the life of the process.
+var loadCache = struct {
+	mu sync.Mutex
+	m  map[string][]*Package
+}{m: make(map[string][]*Package)}
+
+func load(dir string, patterns []string) ([]*Package, error) {
 	listed, err := goList(dir, patterns)
 	if err != nil {
 		return nil, err

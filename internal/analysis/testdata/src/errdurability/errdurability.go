@@ -1,0 +1,110 @@
+// Package errdurability is the error-durability fixture. Append carries
+// the //lint:durable marker, making it a sink root; save propagates its
+// error and becomes a carrier by the fixpoint. Discarding either — bare
+// statement, `_ =`, defer — is a finding; so is dropping Close/Sync on
+// an *os.File the function wrote, where the write error may only
+// surface. Checked errors, read-only files, and written exemptions stay
+// quiet.
+package errdurability
+
+import "os"
+
+// Store is the fixture's durable record log.
+type Store struct {
+	recs []string
+}
+
+// Append records one trial result.
+//
+//lint:durable the record is the resume identity; a failed append means a lost trial
+func (s *Store) Append(rec string) error {
+	s.recs = append(s.recs, rec)
+	return nil
+}
+
+// save is a carrier: its error originates from the sink.
+func save(s *Store, rec string) error {
+	return s.Append(rec)
+}
+
+func DiscardDirect(s *Store, recs []string) {
+	for _, r := range recs {
+		s.Append(r) // want "the error of"
+	}
+}
+
+func DiscardBlank(s *Store, r string) {
+	_ = save(s, r) // want "the error of"
+}
+
+func DiscardDefer(s *Store, r string) {
+	defer s.Append(r) // want "defers and discards"
+}
+
+// Handled propagates: clean.
+func Handled(s *Store, r string) error {
+	return save(s, r)
+}
+
+// Checked inspects: clean.
+func Checked(s *Store, r string) bool {
+	return s.Append(r) == nil
+}
+
+// BestEffort is a sanctioned discard on an already-failing path.
+func BestEffort(s *Store, r string, failed bool) {
+	if failed {
+		//lint:errdurability-exempt best-effort trailer on an already-failing path; the primary error is returned upstream
+		s.Append(r)
+	}
+}
+
+func WriteThenLeakClose(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want "defers and discards f.Close"
+	_, err = f.Write(data)
+	return err
+}
+
+func WriteThenDropSync(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close() // want "discards f.Close"
+		return err
+	}
+	f.Sync() // want "discards f.Sync"
+	return f.Close()
+}
+
+// WriteChecked captures the Close error: clean.
+func WriteChecked(path string, data []byte) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	_, err = f.Write(data)
+	return err
+}
+
+// ReadOnlyClose never wrote: its deferred Close is harmless.
+func ReadOnlyClose(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, 64)
+	n, err := f.Read(buf)
+	return buf[:n], err
+}

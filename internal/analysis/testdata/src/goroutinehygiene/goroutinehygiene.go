@@ -1,0 +1,99 @@
+// Package goroutinehygiene is the goroutine-hygiene fixture: every `go`
+// statement needs a visible way to stop — a ctx/done signal somewhere in
+// the spawned function's reach, a bounding WaitGroup, or a written
+// exemption. The positives are the leak shapes the audit found in the
+// daemon mains; the negatives are the repo's sanctioned patterns.
+package goroutinehygiene
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// spin is a leak: nothing in its reach can stop it.
+func spin(n *int) {
+	for {
+		*n++
+	}
+}
+
+func LeakNamed() {
+	n := 0
+	go spin(&n) // want "no cancellation path"
+}
+
+// LeakSend is the daemon shape: a literal that parks forever on a send
+// nobody may receive.
+func LeakSend(out chan int) {
+	go func() { // want "no cancellation path"
+		out <- compute()
+	}()
+}
+
+func compute() int { return 42 }
+
+// LeakOpaque launches something the analyzer cannot see into, with no
+// context to suggest a cancellation path.
+func LeakOpaque() {
+	go fmt.Println("tick") // want "takes no context"
+}
+
+// LeakValue launches a function value — invisible by construction.
+func LeakValue(fns []func()) {
+	go fns[0]() // want "function value"
+}
+
+// OKSelectDone stops on the done channel: hygienic.
+func OKSelectDone(done chan struct{}, work chan int) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case w := <-work:
+				_ = w
+			}
+		}
+	}()
+}
+
+// worker honors ctx cancellation two frames down from the go statement.
+func worker(ctx context.Context, work chan int) {
+	loop(ctx, work)
+}
+
+func loop(ctx context.Context, work chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case w := <-work:
+			_ = w
+		}
+	}
+}
+
+// OKContext reaches a ctx.Done through the named-function chain.
+func OKContext(ctx context.Context, work chan int) {
+	go worker(ctx, work)
+}
+
+// OKWaitGroup is bounded by the waiting spawner.
+func OKWaitGroup(items []int) {
+	var wg sync.WaitGroup
+	for range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// OKExempt is the process-lifetime pattern: the goroutine is meant to
+// die with the process, and says so.
+func OKExempt(n *int) {
+	//lint:goroutinehygiene-exempt deliberately runs for the life of the process; the kernel reaps it at exit
+	go spin(n)
+}

@@ -2,6 +2,7 @@ package campaign
 
 import (
 	"testing"
+	"time"
 )
 
 func quickSpec(rate float64, seed uint64, trials int) Spec {
@@ -79,5 +80,33 @@ func TestManagerSubmitAfterClose(t *testing.T) {
 	m.Close()
 	if _, err := m.Submit(quickSpec(0.01, 1, 1)); err == nil {
 		t.Error("submit after close accepted")
+	}
+}
+
+// TestShutdownReportsFailedStoreClose pins the contract the
+// error-durability audit tightened: Close is a store's last flush, and a
+// Shutdown that drops its error would let the daemon exit claiming a
+// clean shutdown — root flock released, meta trusted — over a store that
+// may be missing records. A failed close must surface as unclean.
+func TestShutdownReportsFailedStoreClose(t *testing.T) {
+	m := newManager(t, t.TempDir(), 1)
+	id, err := m.Submit(quickSpec(0.01, 1, 1))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if err := m.Wait(id); err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	m.mu.Lock()
+	h := m.byID[id]
+	m.mu.Unlock()
+	// Sabotage: yank the descriptor out from under the store, so the
+	// close Shutdown performs fails the way a full disk or dying mount
+	// would.
+	h.mu.Lock()
+	h.st.f.Close()
+	h.mu.Unlock()
+	if m.Shutdown(5 * time.Second) {
+		t.Fatal("Shutdown reported a clean shutdown despite a failed store close")
 	}
 }

@@ -54,6 +54,8 @@ func ModelKnobs(family string) []Knob {
 				Grid: []float64{0.125, 0.25, 0.5, 1},
 			},
 		}
+	case faultmodel.Default, faultmodel.Memory:
+		return nil // parameterless families: rate and seed come from the sweep
 	}
 	return nil
 }

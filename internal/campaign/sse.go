@@ -26,6 +26,8 @@ func terminalState(state string) bool {
 	switch state {
 	case StateDone, StateFailed, StateCancelled, StateInterrupted:
 		return true
+	case StateQueued, StateRunning:
+		return false
 	}
 	return false
 }

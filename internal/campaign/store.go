@@ -92,6 +92,7 @@ func Open(dir string) (*Store, error) {
 	// write silently lost.
 	if torn {
 		if _, err := f.Write([]byte("\n")); err != nil {
+			//lint:errdurability-exempt best-effort close on an already-failing path; the write error is what the caller must see
 			f.Close()
 			return nil, err
 		}
@@ -149,6 +150,8 @@ func readLine(r *bufio.Reader) (line []byte, tooLong bool, err error) {
 func (st *Store) Dir() string { return st.dir }
 
 // Append records one completed trial and flushes it.
+//
+//lint:durable an Append that returned nil is the resume identity; a dropped error is a lost trial
 func (st *Store) Append(rec Record) error {
 	_, err := st.Put(rec)
 	return err
@@ -158,6 +161,8 @@ func (st *Store) Append(rec Record) error {
 // trial was already durable and nothing was written. The check and the
 // write happen under one lock, so concurrent writers of the same key —
 // two workers racing on a reassigned shard — see exactly one true.
+//
+//lint:durable Put is Append behind a dedup check; same durability contract
 func (st *Store) Put(rec Record) (added bool, err error) {
 	line, err := json.Marshal(rec)
 	if err != nil {
@@ -228,6 +233,8 @@ func (st *Store) CellValues(unit, rateIdx, trials int) []float64 {
 // crash mid-write must leave either no spec or a complete one — a torn
 // spec.json would make the whole campaign directory unloadable on the
 // next boot, turning a resumable campaign into a skipped one.
+//
+//lint:durable the spec file is what makes a store resumable at all
 func (st *Store) SaveSpec(spec Spec) error {
 	b, err := json.MarshalIndent(spec, "", "  ")
 	if err != nil {
@@ -252,6 +259,8 @@ func (st *Store) LoadSpec() (spec Spec, ok bool, err error) {
 }
 
 // Close flushes and closes the store file.
+//
+//lint:durable Close flushes the buffered writer; its error is the last chance to see a failed flush
 func (st *Store) Close() error {
 	st.mu.Lock()
 	defer st.mu.Unlock()

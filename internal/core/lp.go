@@ -220,6 +220,7 @@ func (p *PenaltyLP) valueOn(u *fpu.Unit, x []float64) float64 {
 		for i, r := range p.ri {
 			viol := u.Hinge(u.Sub(r, p.lp.BIneq[i]))
 			switch p.kind {
+			case PenaltyAbs: // the hinge already is the absolute violation
 			case PenaltyQuad:
 				viol = u.Mul(viol, viol)
 			case PenaltyLoss:
@@ -237,6 +238,8 @@ func (p *PenaltyLP) valueOn(u *fpu.Unit, x []float64) float64 {
 				d = u.Mul(d, d)
 			case PenaltyLoss:
 				d = p.loss.Rho(u, d)
+			case PenaltyAbs:
+				d = u.Abs(d)
 			default:
 				d = u.Abs(d)
 			}
@@ -261,6 +264,7 @@ func (p *PenaltyLP) gradOn(u *fpu.Unit, x, grad []float64) {
 			// abs: +μ·row; quad: +2μ·viol·row; loss: +2μ·ψ(viol)·row
 			w := p.mu
 			switch p.kind {
+			case PenaltyAbs: // subgradient weight is μ itself
 			case PenaltyQuad:
 				w = u.Mul(u.Mul(2, p.mu), viol)
 			case PenaltyLoss:

@@ -16,6 +16,8 @@ import (
 // reappear — callers' recovery paths must treat that like any other stale
 // state.) The temp file lives beside path, so the rename never crosses a
 // filesystem boundary.
+//
+//lint:durable temp + fsync + rename is the repo's only durable write path; its error is the durability verdict
 func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
 	tmp := path + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, perm)

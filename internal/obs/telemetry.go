@@ -75,6 +75,7 @@ func (f Float) MarshalJSON() ([]byte, error) {
 // notimeinartifacts analyzer guards.
 //
 //lint:artifact-time-exempt telemetry.jsonl is a diagnostics sidecar, explicitly outside resume byte-identity
+//lint:durable flight-recorder appends are the post-mortem record; silent loss defeats the recorder
 func (t *Telemetry) Append(kind string, rec any) error {
 	line := struct {
 		TS   string `json:"ts"`

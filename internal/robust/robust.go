@@ -90,6 +90,8 @@ func DefaultShape(kind Kind) float64 {
 		return 0.1
 	case Quadratic:
 		return 0
+	case Huber, PseudoHuber, GemanMcClure:
+		return 1
 	default:
 		return 1
 	}

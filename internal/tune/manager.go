@@ -30,6 +30,8 @@ const traceFile = "tune.json"
 
 // StateCancelled marks a run the operator stopped deliberately: it is
 // resumable on request but skipped by autoresume.
+//
+//lint:enum tune-state late-added member of the tune lifecycle declared in tune.go
 const StateCancelled = "cancelled"
 
 // resumable reports whether Resume may reschedule a run in this state.

@@ -36,6 +36,8 @@ import (
 // Tune run lifecycle states, mirroring the campaign layer: interrupted
 // marks a run whose owning process died (or shut down) mid-search; it
 // is resumable.
+//
+//lint:enum tune-state every dispatch over tune states must cover all five (StateCancelled lives in manager.go)
 const (
 	StateRunning     = "running"
 	StateDone        = "done"
